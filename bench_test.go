@@ -1,0 +1,208 @@
+package oasis
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// design-choice ablations from DESIGN.md §4. Each benchmark regenerates
+// the corresponding experiment through internal/experiments (the same
+// code path the oasis-bench command uses) and attaches its headline
+// numbers as benchmark metrics, so `go test -bench=.` both times the
+// harness and records the reproduced results.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"oasis/internal/cluster"
+	"oasis/internal/experiments"
+	"oasis/internal/sim"
+	"oasis/internal/trace"
+)
+
+func benchOpt() experiments.Option {
+	return experiments.Option{Seed: 42, Runs: 1, Quick: true}
+}
+
+// runReport executes the experiment once per iteration and fails the
+// benchmark if the experiment errored.
+func runReport(b *testing.B, f func(experiments.Option) experiments.Report) experiments.Report {
+	b.Helper()
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = f(benchOpt())
+	}
+	if r.Title == "ERROR" {
+		b.Fatal(r.Text)
+	}
+	return r
+}
+
+// savingsMetric runs one §5 simulation day and reports the savings as a
+// benchmark metric.
+func savingsMetric(b *testing.B, mutate func(*cluster.Config), kind trace.DayKind, name string) {
+	b.Helper()
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = 42
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		r, err := sim.Run(sim.Config{Cluster: cfg, Kind: kind, TraceSeed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = r.SavingsPct
+	}
+	b.ReportMetric(pct, name)
+}
+
+func BenchmarkFig1IdleMemoryAccess(b *testing.B) {
+	r := runReport(b, experiments.Fig1)
+	// Attach the desktop 1-hour total (paper: 188.2 MiB).
+	lines := strings.Split(strings.TrimSpace(r.Text), "\n")
+	last := strings.Fields(lines[len(lines)-2])
+	if v, err := strconv.ParseFloat(last[1], 64); err == nil {
+		b.ReportMetric(v, "desktop_MiB/hour")
+	}
+}
+
+func BenchmarkFig2SleepOpportunities(b *testing.B) {
+	runReport(b, experiments.Fig2)
+}
+
+func BenchmarkTable1EnergyProfile(b *testing.B) {
+	runReport(b, experiments.Table1)
+}
+
+func BenchmarkFig5ConsolidationLatency(b *testing.B) {
+	runReport(b, experiments.Fig5)
+}
+
+func BenchmarkTraffic443(b *testing.B) {
+	runReport(b, experiments.Traffic)
+}
+
+func BenchmarkFig6AppStartup(b *testing.B) {
+	runReport(b, experiments.Fig6)
+}
+
+func BenchmarkFig7ClusterDay(b *testing.B) {
+	runReport(b, experiments.Fig7)
+}
+
+func BenchmarkFig8EnergySavings(b *testing.B) {
+	// The headline result: FulltoPartial on the §5.1 cluster.
+	savingsMetric(b, nil, trace.Weekday, "weekday_savings_%")
+}
+
+func BenchmarkFig8EnergySavingsWeekend(b *testing.B) {
+	savingsMetric(b, nil, trace.Weekend, "weekend_savings_%")
+}
+
+func BenchmarkFig8OnlyPartial(b *testing.B) {
+	savingsMetric(b, func(c *cluster.Config) { c.Policy = cluster.OnlyPartial },
+		trace.Weekday, "weekday_savings_%")
+}
+
+func BenchmarkFig8Default(b *testing.B) {
+	savingsMetric(b, func(c *cluster.Config) { c.Policy = cluster.Default },
+		trace.Weekday, "weekday_savings_%")
+}
+
+func BenchmarkFig8NewHome(b *testing.B) {
+	savingsMetric(b, func(c *cluster.Config) { c.Policy = cluster.NewHome },
+		trace.Weekday, "weekday_savings_%")
+}
+
+func BenchmarkFig8FullOnlyBaseline(b *testing.B) {
+	savingsMetric(b, func(c *cluster.Config) { c.Policy = cluster.FullOnly },
+		trace.Weekday, "weekday_savings_%")
+}
+
+func BenchmarkFig9ConsolidationRatio(b *testing.B) {
+	var median float64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = 42
+		r, err := sim.Run(sim.Config{Cluster: cfg, Kind: trace.Weekday, TraceSeed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = r.Stats.ConsRatio.Percentile(50)
+	}
+	b.ReportMetric(median, "median_VMs/cons-host")
+}
+
+func BenchmarkFig10NetworkTraffic(b *testing.B) {
+	var gib float64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = 42
+		r, err := sim.Run(sim.Config{Cluster: cfg, Kind: trace.Weekday, TraceSeed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gib = r.Stats.NetworkBytes().GiBf()
+	}
+	b.ReportMetric(gib, "network_GiB/day")
+}
+
+func BenchmarkFig11TransitionDelay(b *testing.B) {
+	var zero, p9999 float64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Seed = 42
+		r, err := sim.Run(sim.Config{Cluster: cfg, Kind: trace.Weekday, TraceSeed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		zero = r.Stats.ZeroDelayFraction()
+		p9999 = r.Stats.DelayPercentile(99.99)
+	}
+	b.ReportMetric(100*zero, "zero_delay_%")
+	b.ReportMetric(p9999, "p99.99_delay_s")
+}
+
+func BenchmarkFig12Sensitivity(b *testing.B) {
+	runReport(b, experiments.Fig12)
+}
+
+func BenchmarkTable3MemServerPower(b *testing.B) {
+	// The 1 W endpoint of the Table 3 sweep (paper: 41% weekday).
+	savingsMetric(b, func(c *cluster.Config) { c.Profile.MemServerW = 1 },
+		trace.Weekday, "weekday_savings_%")
+}
+
+// ---- Ablations (DESIGN.md §4) ----
+
+func BenchmarkAblationDifferentialUpload(b *testing.B) {
+	runReport(b, experiments.AblationDifferentialUpload)
+}
+
+func BenchmarkAblationCompression(b *testing.B) {
+	runReport(b, experiments.AblationCompression)
+}
+
+func BenchmarkAblationSharedMemServer(b *testing.B) {
+	runReport(b, experiments.AblationSharedMemServer)
+}
+
+func BenchmarkAblationOverwriteElision(b *testing.B) {
+	runReport(b, experiments.AblationOverwriteElision)
+}
+
+func BenchmarkAblationVacateOrder(b *testing.B) {
+	runReport(b, experiments.AblationVacateOrder)
+}
+
+func BenchmarkAblationHeadroom(b *testing.B) {
+	runReport(b, experiments.AblationHeadroom)
+}
+
+func BenchmarkAblationPowerModel(b *testing.B) {
+	runReport(b, experiments.AblationPowerModel)
+}
+
+func BenchmarkAblationPlacement(b *testing.B) {
+	runReport(b, experiments.AblationPlacement)
+}

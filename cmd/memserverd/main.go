@@ -1,0 +1,74 @@
+// Command memserverd runs a standalone Oasis memory page server (§4.3):
+// the daemon that serves a sleeping host's VM memory pages over TCP.
+//
+// Example:
+//
+//	memserverd -listen 127.0.0.1:7070 -secret changeme
+//
+// Pair it with memtapctl to upload an image and fault pages back.
+package main
+
+import (
+	"encoding/pem"
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"oasis/internal/memserver"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7070", "address to listen on")
+		secret  = flag.String("secret", "", "shared authentication secret (required)")
+		useTLS  = flag.Bool("tls", false, "serve TLS with a fresh self-signed certificate (§4.3 Security)")
+		certOut = flag.String("cert-out", "", "with -tls: also write the PEM certificate here for clients")
+		persist = flag.String("persist", "", "mirror images to this directory and reload them at startup (the shared-drive durability of §4.3)")
+	)
+	flag.Parse()
+	if *secret == "" {
+		log.Fatal("memserverd: -secret is required; clients authenticate with HMAC-SHA256")
+	}
+	s := memserver.NewServer([]byte(*secret), log.Printf)
+	if *persist != "" {
+		if err := s.SetPersistDir(*persist); err != nil {
+			log.Fatal(err)
+		}
+		n, err := s.LoadPersisted()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("memserverd: restored %d VM image(s) from %s", n, *persist)
+	}
+	if !*useTLS {
+		addr, err := s.Listen(*listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("memserverd: serving on %v", addr)
+		select {}
+	}
+
+	host, _, err := net.SplitHostPort(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, _, err := memserver.GenerateCert([]string{host})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *certOut != "" {
+		pemBytes := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: cert.Certificate[0]})
+		if err := os.WriteFile(*certOut, pemBytes, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("memserverd: wrote certificate to %s", *certOut)
+	}
+	addr, err := s.ListenTLS(*listen, cert)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("memserverd: serving TLS on %v", addr)
+	select {}
+}

@@ -1,0 +1,139 @@
+// Command memtapctl exercises a running memserverd the way a host agent
+// and memtap do: it uploads a synthetic VM memory image, creates a partial
+// VM from its descriptor, faults pages back on demand, pushes a
+// differential update, and reports round-trip statistics.
+//
+// Example:
+//
+//	memserverd -listen 127.0.0.1:7070 -secret changeme &
+//	memtapctl  -server 127.0.0.1:7070 -secret changeme -mem 64MiB -touch 2000
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"oasis"
+	"oasis/internal/rng"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "127.0.0.1:7070", "memserverd address")
+		secret   = flag.String("secret", "", "shared authentication secret (required)")
+		memMiB   = flag.Int("mem", 64, "VM memory size in MiB")
+		touched  = flag.Int("touch", 1000, "pages to fault in on demand")
+		vmid     = flag.Uint("vmid", 1234, "VM identifier")
+		seed     = flag.Uint64("seed", 1, "seed for synthetic page contents")
+		prefetch = flag.Bool("prefetch", false, "after touching, prefetch the remaining state (partial→full conversion, §4.4.4)")
+	)
+	flag.Parse()
+	if *secret == "" {
+		log.Fatal("memtapctl: -secret is required")
+	}
+	alloc := oasis.Bytes(*memMiB) * oasis.MiB
+	id := oasis.VMID(*vmid)
+
+	// Build a synthetic "home host" memory image: sparse pages with
+	// recognisable contents.
+	r := rng.New(*seed)
+	im := oasis.NewImage(alloc)
+	pages := im.NumPages()
+	for pfn := int64(0); pfn < pages; pfn++ {
+		if r.Bool(0.5) {
+			continue // leave half the pages zero, like real guests
+		}
+		page := bytes.Repeat([]byte{byte(pfn%251 + 1)}, int(oasis.PageSize))
+		if err := im.Write(oasis.PFN(pfn), page); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Upload the image (the host's pre-suspend upload, §4.3).
+	client, err := oasis.DialMemServer(*server, []byte(*secret), 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	snap, n, err := oasis.EncodeImage(im)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if err := client.PutImage(id, alloc, snap); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded image: %d pages, %d bytes compressed (%.1fx) in %v\n",
+		n, len(snap), float64(n)*float64(oasis.PageSize)/float64(len(snap)), time.Since(start))
+
+	// Create a partial VM from the descriptor and fault pages on demand
+	// through a real memtap.
+	desc := oasis.NewVMDescriptor(id, "memtapctl-demo", alloc, 1)
+	mt, err := oasis.NewMemtap(id, *server, []byte(*secret))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mt.Close()
+	pvm, err := oasis.NewPartialVM(desc, mt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nTouch := int64(*touched)
+	if nTouch > pages {
+		nTouch = pages
+	}
+	start = time.Now()
+	for i := int64(0); i < nTouch; i++ {
+		pfn := oasis.PFN(r.Int63n(pages))
+		want, err := im.Read(pfn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := pvm.Read(pfn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			log.Fatalf("page %d mismatch after on-demand fetch", pfn)
+		}
+	}
+	fmt.Printf("touched %d pages: %d faults serviced, mean latency %v\n",
+		nTouch, mt.Faults(), mt.MeanLatency())
+
+	if *prefetch {
+		start = time.Now()
+		n, err := mt.PrefetchRemaining(pvm, 512)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prefetched %d remaining pages in %v; VM is now full (%d/%d present)\n",
+			n, time.Since(start), pvm.PresentPages(), pages)
+	}
+
+	// Differential upload: dirty a few pages and push only the delta.
+	epoch := im.NextEpoch()
+	for i := 0; i < 16; i++ {
+		pfn := oasis.PFN(r.Int63n(pages))
+		if err := im.Write(pfn, bytes.Repeat([]byte{0xD1}, int(oasis.PageSize))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	diff, dn, err := oasis.EncodeImageDiff(im, epoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.PutDiff(id, diff); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("differential upload: %d dirty pages, %d bytes\n", dn, len(diff))
+
+	stats, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stats: %d VMs, %d pages served (%v), %d pages uploaded\n",
+		stats.VMs, stats.PagesServed, stats.BytesServed, stats.PagesUploaded)
+}

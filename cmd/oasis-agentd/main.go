@@ -1,0 +1,39 @@
+// Command oasis-agentd runs an Oasis host agent (§4.2): the per-host
+// daemon that owns VMs, executes partial/full migrations and
+// reintegration against peer agents, and exposes the host's memory
+// server. A cluster manager (or another agent) drives it over the wire
+// RPC interface.
+//
+// Example (three hosts on one machine):
+//
+//	oasis-agentd -name home-0 -rpc 127.0.0.1:8100 -mem 127.0.0.1:8200 -secret s3cret &
+//	oasis-agentd -name home-1 -rpc 127.0.0.1:8101 -mem 127.0.0.1:8201 -secret s3cret &
+//	oasis-agentd -name cons-0 -rpc 127.0.0.1:8102 -mem 127.0.0.1:8202 -secret s3cret &
+package main
+
+import (
+	"flag"
+	"log"
+
+	"oasis/internal/agent"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "host-0", "host name")
+		rpc    = flag.String("rpc", "127.0.0.1:8100", "agent RPC listen address")
+		mem    = flag.String("mem", "127.0.0.1:8200", "memory server listen address")
+		secret = flag.String("secret", "", "shared memory-server secret (required)")
+	)
+	flag.Parse()
+	if *secret == "" {
+		log.Fatal("oasis-agentd: -secret is required")
+	}
+	a := agent.New(*name, []byte(*secret), log.Printf)
+	if err := a.Start(*rpc, *mem); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("oasis-agentd: %s serving RPC on %s, memory server on %s",
+		*name, a.Addr(), a.MemServerAddr())
+	select {}
+}

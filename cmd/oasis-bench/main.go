@@ -1,0 +1,71 @@
+// Command oasis-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	oasis-bench                      # run every experiment
+//	oasis-bench -experiment fig8     # one experiment
+//	oasis-bench -runs 5              # average 5 simulation days per point
+//	oasis-bench -quick               # restricted sweeps for a fast pass
+//	oasis-bench -list                # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"oasis/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		runs       = flag.Int("runs", 1, "simulation days averaged per cluster data point")
+		quick      = flag.Bool("quick", false, "restrict sweeps for a fast pass")
+		list       = flag.Bool("list", false, "list experiment identifiers and exit")
+		outDir     = flag.String("out", "", "also write each report to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	opt := experiments.Option{Seed: *seed, Runs: *runs, Quick: *quick}
+
+	emit := func(r experiments.Report) {
+		fmt.Println(r.String())
+		if *outDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, r.ID+".txt")
+		if err := os.WriteFile(path, []byte(r.String()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *experiment == "all" {
+		for _, r := range experiments.All(opt) {
+			emit(r)
+		}
+		for _, r := range experiments.Ablations(opt) {
+			emit(r)
+		}
+		return
+	}
+	r, ok := experiments.ByID(*experiment, opt)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
+			*experiment, strings.Join(experiments.IDs(), ", "))
+		os.Exit(2)
+	}
+	emit(r)
+}

@@ -1,0 +1,107 @@
+// Command oasis-sim runs one trace-driven Oasis cluster-day simulation
+// (§5) and prints the energy outcome and day series.
+//
+// Example:
+//
+//	oasis-sim -policy FulltoPartial -home 30 -cons 4 -vms 30 -kind weekday
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"oasis"
+)
+
+func parsePolicy(s string) (oasis.Policy, error) {
+	switch strings.ToLower(s) {
+	case "onlypartial":
+		return oasis.OnlyPartial, nil
+	case "default":
+		return oasis.Default, nil
+	case "fulltopartial":
+		return oasis.FulltoPartial, nil
+	case "newhome":
+		return oasis.NewHome, nil
+	case "fullonly":
+		return oasis.FullOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func main() {
+	var (
+		policy = flag.String("policy", "FulltoPartial", "OnlyPartial|Default|FulltoPartial|NewHome|FullOnly")
+		home   = flag.Int("home", 30, "home (compute) hosts")
+		cons   = flag.Int("cons", 4, "consolidation hosts")
+		vms    = flag.Int("vms", 30, "VMs per home host")
+		kind   = flag.String("kind", "weekday", "weekday|weekend")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		runs   = flag.Int("runs", 1, "days to simulate and average")
+		series = flag.Bool("series", false, "print the hourly active/powered series")
+		events = flag.Int("events", 0, "record and print the last N manager decisions")
+	)
+	flag.Parse()
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := oasis.DefaultSimConfig()
+	cfg.Cluster.Policy = pol
+	cfg.Cluster.HomeHosts = *home
+	cfg.Cluster.ConsHosts = *cons
+	cfg.Cluster.VMsPerHost = *vms
+	cfg.Cluster.Seed = *seed
+	cfg.TraceSeed = *seed
+	cfg.Cluster.EventLogSize = *events
+	cfg.Kind = oasis.Weekday
+	if strings.ToLower(*kind) == "weekend" {
+		cfg.Kind = oasis.Weekend
+	}
+
+	if *runs > 1 {
+		sum, err := oasis.SimulateN(cfg, *runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v on a %v, %d+%d hosts, %d VMs/host, %d runs:\n",
+			pol, cfg.Kind, *home, *cons, *vms, *runs)
+		fmt.Printf("  energy savings: %.1f%% ± %.1f%%\n", sum.Savings.Mean(), sum.Savings.Std())
+		return
+	}
+
+	r, err := oasis.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v on a %v, %d+%d hosts, %d VMs/host:\n", pol, cfg.Kind, *home, *cons, *vms)
+	fmt.Printf("  baseline: %.1f kWh   oasis: %.1f kWh   savings: %.1f%%\n",
+		r.BaselineJoules/3.6e6, r.OasisJoules/3.6e6, r.SavingsPct)
+	fmt.Printf("  peak active VMs: %d   zero-delay transitions: %.0f%%   exhaustions: %d\n",
+		r.PeakActive, 100*r.Stats.ZeroDelayFraction(), r.Stats.Exhaustions)
+	fmt.Printf("  network traffic: %v (full %v, descriptors %v, on-demand %v, reintegration %v)\n",
+		r.Stats.NetworkBytes(), r.Stats.FullBytes, r.Stats.DescriptorBytes,
+		r.Stats.OnDemandBytes, r.Stats.ReintegrateBytes)
+	fmt.Printf("  operations: %v\n", r.Stats.Ops)
+	if *series {
+		fmt.Printf("%-6s %12s %14s\n", "hour", "active VMs", "powered hosts")
+		for h := 0; h < 24; h++ {
+			var act, pow int
+			for i := h * 12; i < (h+1)*12; i++ {
+				act += r.ActiveSeries[i]
+				pow += r.PoweredSeries[i]
+			}
+			fmt.Printf("%-6d %12.0f %14.1f\n", h, float64(act)/12, float64(pow)/12)
+		}
+	}
+	if *events > 0 {
+		fmt.Printf("last %d manager decisions:\n", len(r.Events))
+		for _, e := range r.Events {
+			fmt.Println("  " + e.String())
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]bool{
+		"FulltoPartial": true,
+		"fulltopartial": true,
+		"OnlyPartial":   true,
+		"DEFAULT":       true,
+		"NewHome":       true,
+		"FullOnly":      true,
+		"bogus":         false,
+		"":              false,
+	}
+	for in, ok := range cases {
+		_, err := parsePolicy(in)
+		if ok && err != nil {
+			t.Errorf("parsePolicy(%q) = %v", in, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("parsePolicy(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command tracegen generates and inspects synthetic user-activity traces
+// in the format the §5 evaluation consumes.
+//
+// Examples:
+//
+//	tracegen -n 900 -kind weekday > weekday.trace
+//	tracegen -inspect weekday.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"oasis"
+	"oasis/internal/trace"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 900, "user-days to generate")
+		kind    = flag.String("kind", "weekday", "weekday|weekend")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		inspect = flag.String("inspect", "", "trace file to summarise instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		set, err := trace.Read(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		summarise(set)
+		return
+	}
+
+	k := oasis.Weekday
+	if strings.ToLower(*kind) == "weekend" {
+		k = oasis.Weekend
+	}
+	set := oasis.GenerateTrace(k, *n, *seed)
+	if err := set.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func summarise(set *trace.Set) {
+	peak, iv := set.PeakActive()
+	fmt.Printf("user-days: %d\n", len(set.Days))
+	fmt.Printf("peak simultaneous active: %d (%.0f%%) at %02d:%02d\n",
+		peak, 100*float64(peak)/float64(len(set.Days)),
+		iv*trace.IntervalMinutes/60, iv*trace.IntervalMinutes%60)
+	fmt.Printf("P(all 30 VMs of a host idle): %.1f%%\n", 100*set.FracAllIdle(30))
+	counts := set.ActiveCount()
+	fmt.Printf("%-6s %s\n", "hour", "active users")
+	for h := 0; h < 24; h++ {
+		sum := 0
+		for i := h * 12; i < (h+1)*12; i++ {
+			sum += counts[i]
+		}
+		avg := float64(sum) / 12
+		bar := strings.Repeat("#", int(avg/float64(len(set.Days))*120))
+		fmt.Printf("%-6d %5.0f %s\n", h, avg, bar)
+	}
+}

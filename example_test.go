@@ -1,0 +1,90 @@
+package oasis_test
+
+import (
+	"fmt"
+	"time"
+
+	"oasis"
+)
+
+// ExampleSimulate runs the paper's headline experiment: a simulated
+// weekday on the 30+4 host VDI farm under the FulltoPartial policy.
+func ExampleSimulate() {
+	cfg := oasis.DefaultSimConfig()
+	cfg.Cluster.Policy = oasis.FulltoPartial
+	cfg.TraceSeed = 42
+	cfg.Cluster.Seed = 42
+	res, err := oasis.Simulate(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("savings between 20%% and 32%%: %v\n", res.SavingsPct > 20 && res.SavingsPct < 32)
+	// Output:
+	// savings between 20% and 32%: true
+}
+
+// ExampleMicroBenchModel reproduces the Figure 5 full-migration latency.
+func ExampleMicroBenchModel() {
+	m := oasis.MicroBenchModel()
+	op := m.FullMigration(4*oasis.GiB, false)
+	fmt.Printf("full migration of a 4 GiB VM: %.0f s\n", op.Latency.Seconds())
+	// Output:
+	// full migration of a 4 GiB VM: 41 s
+}
+
+// ExampleNewMemServer shows the functional layer: upload a VM image to a
+// memory page server and fault a page back through a memtap.
+func ExampleNewMemServer() {
+	secret := []byte("example")
+	srv := oasis.NewMemServer(secret, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Close()
+
+	im := oasis.NewImage(4 * oasis.MiB)
+	page := make([]byte, oasis.PageSize)
+	page[0] = 42
+	if err := im.Write(100, page); err != nil {
+		fmt.Println(err)
+		return
+	}
+	snap, _, err := oasis.EncodeImage(im)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	client, err := oasis.DialMemServer(addr.String(), secret, 2*time.Second)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer client.Close()
+	if err := client.PutImage(1, 4*oasis.MiB, snap); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	mt, err := oasis.NewMemtap(1, addr.String(), secret)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer mt.Close()
+	pvm, err := oasis.NewPartialVM(oasis.NewVMDescriptor(1, "demo", 4*oasis.MiB, 1), mt)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	got, err := pvm.Read(100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("faulted page byte: %d after %d fault(s)\n", got[0], mt.Faults())
+	// Output:
+	// faulted page byte: 42 after 1 fault(s)
+}

@@ -1,0 +1,112 @@
+// Controlplane: the §4.1 cluster manager driving real host agents over
+// RPC. Three "hosts" run in-process, each with its own TCP endpoints and
+// memory server. The manager creates a VM, consolidates it with partial
+// migration, suspends the emptied home host, serves page faults from the
+// sleeping host's memory server, and reintegrates the VM when its user
+// returns.
+//
+// Run with: go run ./examples/controlplane
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"oasis/internal/agent"
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+func main() {
+	secret := []byte("controlplane-example")
+	mgr := agent.NewManager()
+	defer mgr.Close()
+
+	names := []string{"home-0", "home-1", "cons-0"}
+	agents := map[string]*agent.Agent{}
+	for _, name := range names {
+		a := agent.New(name, secret, nil)
+		if err := a.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		defer a.Close()
+		if err := mgr.AddHost(name, a.Addr()); err != nil {
+			log.Fatal(err)
+		}
+		agents[name] = a
+		fmt.Printf("%s: agent %s, memory server %s\n", name, a.Addr(), a.MemServerAddr())
+	}
+
+	// Create a desktop VM on its home host.
+	const vmid = pagestore.VMID(1001)
+	host, consHost := "home-0", "cons-0"
+	err := mgr.CreateVMOn(host, agent.CreateVMArgs{
+		VMID: vmid, Name: "vdi-1001", Alloc: 32 * units.MiB, VCPUs: 1,
+		Disk: "nfs://storage/vdi-1001.img",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmanager: created vm %04d on %s\n", vmid, host)
+
+	// The user works: the guest dirties memory.
+	for pfn := pagestore.PFN(64); pfn < 96; pfn++ {
+		if err := mgr.WritePage(host, vmid, pfn, bytes.Repeat([]byte{byte(pfn)}, int(units.PageSize))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("guest: dirtied 32 pages while active on %s\n", host)
+
+	// The user goes idle: consolidate with partial migration and put the
+	// home host to sleep.
+	if err := mgr.PartialMigrate(vmid, host, consHost); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Suspend(host); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manager: vm %04d partially migrated to %s; %s suspended\n", vmid, consHost, host)
+
+	// Idle-period background activity on the consolidation host: page
+	// faults are served by the sleeping home's memory server.
+	got, err := mgr.ReadPage(consHost, vmid, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: faulted page 80 from sleeping %s's memory server (contents ok: %v)\n",
+		consHost, host, got[0] == 80)
+	if err := mgr.WritePage(consHost, vmid, 200, bytes.Repeat([]byte{0xAB}, int(units.PageSize))); err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := mgr.HostStats(consHost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d partial VM(s); faults so far: %d\n", consHost, len(st.VMs), st.VMs[0].Faults)
+
+	// The user returns: wake the home, reintegrate only the dirty state,
+	// resume at full speed.
+	if err := mgr.Wake(host); err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Reintegrate(vmid, consHost, host); err != nil {
+		log.Fatal(err)
+	}
+	got, err = mgr.ReadPage(host, vmid, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manager: vm %04d reintegrated to %s; remote dirty state preserved: %v\n",
+		vmid, host, got[0] == 0xAB)
+
+	ms := agents[host].MemServerAddr()
+	_ = ms
+	mst, err := mgr.HostStats(host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: memory server uploaded %d pages, served %d page requests\n",
+		host, mst.MemServer.PagesUploaded, mst.MemServer.PagesServed)
+}

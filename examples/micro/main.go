@@ -1,0 +1,23 @@
+// Micro: the §4.4 micro-benchmarks — consolidation latencies (Figure 5),
+// the network-traffic split (§4.4.3) and application start-up latencies
+// (Figure 6) — regenerated from the calibrated testbed model.
+//
+// Run with: go run ./examples/micro
+package main
+
+import (
+	"fmt"
+
+	"oasis/internal/experiments"
+)
+
+func main() {
+	opt := experiments.DefaultOption()
+	for _, id := range []string{"fig5", "traffic", "fig6"} {
+		r, ok := experiments.ByID(id, opt)
+		if !ok {
+			panic("unknown experiment " + id)
+		}
+		fmt.Println(r.String())
+	}
+}

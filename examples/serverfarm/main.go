@@ -1,0 +1,44 @@
+// Serverfarm: the §5.6 generality argument. The evaluation uses VDI
+// desktops, but the paper postulates other server workloads do at least
+// as well because idle web and database VMs touch *less* memory than idle
+// desktops (Figure 1). This example runs the same cluster day with a
+// web/database class mix and compares against the VDI baseline.
+//
+// Run with: go run ./examples/serverfarm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oasis"
+)
+
+func main() {
+	day := func(mix []oasis.VMClass, label string) *oasis.SimResult {
+		cfg := oasis.DefaultSimConfig()
+		cfg.Cluster.Policy = oasis.FulltoPartial
+		cfg.Cluster.ClassMix = mix
+		cfg.TraceSeed = 11
+		cfg.Cluster.Seed = 11
+		res, err := oasis.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s savings %5.1f%%   on-demand traffic %v   reintegration %v\n",
+			label, res.SavingsPct, res.Stats.OnDemandBytes, res.Stats.ReintegrateBytes)
+		return res
+	}
+
+	fmt.Println("FulltoPartial, 30+4 hosts, 900 VMs, one simulated weekday:")
+	vdi := day(nil, "VDI desktops (paper §5)")
+	srv := day([]oasis.VMClass{oasis.WebVM, oasis.DBVM}, "web + database servers")
+	mixed := day([]oasis.VMClass{oasis.DesktopVM, oasis.WebVM, oasis.DBVM}, "mixed fleet")
+
+	fmt.Println()
+	fmt.Printf("server-farm vs VDI savings delta: %+.1f points\n", srv.SavingsPct-vdi.SavingsPct)
+	fmt.Printf("mixed-fleet vs VDI savings delta: %+.1f points\n", mixed.SavingsPct-vdi.SavingsPct)
+	fmt.Println("\npaper §5.6: \"other server workloads are likely to exhibit similar")
+	fmt.Println("performance\" because idle desktops are the most memory-hungry case —")
+	fmt.Println("web/db working sets are ~5x smaller, so consolidation only gets denser")
+}

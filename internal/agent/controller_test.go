@@ -1,0 +1,220 @@
+package agent
+
+import (
+	"testing"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/rng"
+	"oasis/internal/units"
+)
+
+// TestControllerFunctionalDay drives the consolidation loop end to end
+// over real TCP agents: two home hosts with three VMs each, one
+// consolidation host, through idle → consolidated+suspended → partially
+// active → returned cycles, verifying memory integrity throughout.
+func TestControllerFunctionalDay(t *testing.T) {
+	m, agents := startHosts(t, 3)
+	homes := []string{agents[0].Name, agents[1].Name}
+	cons := []string{agents[2].Name}
+	ctl := NewController(m, homes, cons)
+
+	// Create six VMs, three per home, and dirty a recognisable page in
+	// each.
+	var ids []pagestore.VMID
+	for i := 0; i < 6; i++ {
+		id := pagestore.VMID(2000 + i)
+		host, err := ctl.CreateVM(id, "vdi", 8*units.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WritePage(host, id, 50, page(byte(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	perHome := map[string]int{}
+	for _, id := range ids {
+		perHome[ctl.Home(id)]++
+	}
+	if perHome[homes[0]] != 3 || perHome[homes[1]] != 3 {
+		t.Fatalf("placement skewed: %v", perHome)
+	}
+
+	// Interval 1: everyone idle → both homes vacate and suspend.
+	if err := ctl.Step(map[pagestore.VMID]bool{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range homes {
+		if !ctl.Suspended(h) {
+			t.Fatalf("home %s not suspended after all-idle step", h)
+		}
+	}
+	for _, id := range ids {
+		if !ctl.Partial(id) || ctl.Location(id) != cons[0] {
+			t.Fatalf("vm %04d not consolidated: loc=%s partial=%v", id, ctl.Location(id), ctl.Partial(id))
+		}
+	}
+	// Idle background activity faults pages in from the sleeping homes'
+	// memory servers, with correct contents.
+	for i, id := range ids {
+		got, err := m.ReadPage(cons[0], id, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i+1) {
+			t.Fatalf("vm %04d page corrupted on consolidation host", id)
+		}
+	}
+
+	// A partial VM dirties state remotely.
+	if err := m.WritePage(cons[0], ids[0], 60, page(0xEE)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interval 2: the first VM's user returns → its home wakes and all
+	// three of its VMs come back; the other home stays asleep.
+	if err := ctl.Step(map[pagestore.VMID]bool{ids[0]: true}); err != nil {
+		t.Fatal(err)
+	}
+	home0 := ctl.Home(ids[0])
+	if ctl.Suspended(home0) {
+		t.Fatal("home of the activating VM still suspended")
+	}
+	returned := 0
+	for _, id := range ids {
+		if ctl.Home(id) == home0 {
+			if ctl.Partial(id) || ctl.Location(id) != home0 {
+				t.Fatalf("sibling %04d not returned: %s partial=%v", id, ctl.Location(id), ctl.Partial(id))
+			}
+			returned++
+		} else if !ctl.Partial(id) {
+			t.Fatalf("vm %04d of the other home was disturbed", id)
+		}
+	}
+	if returned != 3 {
+		t.Fatalf("returned %d VMs, want 3", returned)
+	}
+	// The remotely dirtied page survived reintegration.
+	got, err := m.ReadPage(home0, ids[0], 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xEE {
+		t.Fatal("remote dirty state lost on reintegration")
+	}
+
+	// Interval 3: everyone idle again → re-consolidation (differential
+	// uploads) and the home suspends again.
+	if err := ctl.Step(map[pagestore.VMID]bool{}); err != nil {
+		t.Fatal(err)
+	}
+	if !ctl.Suspended(home0) {
+		t.Fatal("home did not re-suspend after its VMs went idle")
+	}
+	st, err := m.HostStats(cons[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.VMs) != 6 {
+		t.Fatalf("consolidation host holds %d VMs, want 6", len(st.VMs))
+	}
+	// And the re-consolidated VM still serves the right contents.
+	got, err = m.ReadPage(cons[0], ids[0], 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xEE {
+		t.Fatal("state lost across the second consolidation")
+	}
+}
+
+func TestControllerNoHomeAvailable(t *testing.T) {
+	m, agents := startHosts(t, 1)
+	ctl := NewController(m, []string{agents[0].Name}, nil)
+	if _, err := ctl.CreateVM(1, "x", units.MiB); err != nil {
+		t.Fatal(err)
+	}
+	// Vacating with no consolidation hosts must fail loudly.
+	if err := ctl.Step(map[pagestore.VMID]bool{}); err == nil {
+		t.Fatal("step with no consolidation host succeeded")
+	}
+}
+
+// TestControllerRandomSoak drives the functional control plane through
+// many random activity cycles, verifying invariants after every step:
+// page contents survive arbitrary consolidate/return sequences, suspended
+// hosts hold no running VMs, and bookkeeping matches agent reality.
+func TestControllerRandomSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	m, agents := startHosts(t, 4)
+	homes := []string{agents[0].Name, agents[1].Name, agents[2].Name}
+	cons := []string{agents[3].Name}
+	ctl := NewController(m, homes, cons)
+
+	r := rng.New(77)
+	var ids []pagestore.VMID
+	want := map[pagestore.VMID]byte{}
+	for i := 0; i < 9; i++ {
+		id := pagestore.VMID(3000 + i)
+		host, err := ctl.CreateVM(id, "soak", 4*units.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := byte(i + 1)
+		if err := m.WritePage(host, id, 70, page(b)); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		want[id] = b
+	}
+
+	for step := 0; step < 40; step++ {
+		active := map[pagestore.VMID]bool{}
+		for _, id := range ids {
+			if r.Bool(0.25) {
+				active[id] = true
+			}
+		}
+		if err := ctl.Step(active); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		// Occasionally mutate a VM wherever it runs, tracking the
+		// expected value.
+		id := ids[r.Intn(len(ids))]
+		loc := ctl.Location(id)
+		if !ctl.Suspended(loc) {
+			b := byte(r.Intn(250) + 1)
+			if err := m.WritePage(loc, id, 70, page(b)); err != nil {
+				t.Fatalf("step %d write: %v", step, err)
+			}
+			want[id] = b
+		}
+		// Invariant: a suspended host holds no running VMs.
+		for _, h := range homes {
+			if !ctl.Suspended(h) {
+				continue
+			}
+			st, err := m.HostStats(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, info := range st.VMs {
+				if !info.Away {
+					t.Fatalf("step %d: suspended %s runs vm %04d", step, h, info.VMID)
+				}
+			}
+		}
+	}
+	// Final integrity check: every VM's tracked page has its last value.
+	for _, id := range ids {
+		got, err := m.ReadPage(ctl.Location(id), id, 70)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want[id] {
+			t.Fatalf("vm %04d page = %x, want %x after soak", id, got[0], want[id])
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package agent
+
+import (
+	"encoding/base64"
+	"fmt"
+	"sort"
+	"sync"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/wire"
+)
+
+// Manager is the functional cluster manager of §4.1: it owns the host
+// roster, creates VMs on hosts with room, and orders migrations and power
+// transitions through the host agents' RPC interfaces.
+type Manager struct {
+	mu    sync.Mutex
+	hosts map[string]*hostEntry
+}
+
+type hostEntry struct {
+	name   string
+	addr   string
+	client *wire.Client
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{hosts: make(map[string]*hostEntry)}
+}
+
+// AddHost registers a host agent by RPC address.
+func (m *Manager) AddHost(name, addr string) error {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("manager: add host %s: %w", name, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.hosts[name]; ok {
+		c.Close()
+		return fmt.Errorf("manager: host %s already registered", name)
+	}
+	m.hosts[name] = &hostEntry{name: name, addr: addr, client: c}
+	return nil
+}
+
+// Close releases all agent connections.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range m.hosts {
+		h.client.Close()
+	}
+	m.hosts = map[string]*hostEntry{}
+}
+
+func (m *Manager) host(name string) (*hostEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("manager: unknown host %s", name)
+	}
+	return h, nil
+}
+
+// Hosts returns the registered host names, sorted.
+func (m *Manager) Hosts() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.hosts))
+	for name := range m.hosts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateVM creates a VM on the host with the fewest resident VMs (the
+// manager "identifies a host with sufficient resources", §4.1).
+func (m *Manager) CreateVM(args CreateVMArgs) (hostName string, err error) {
+	names := m.Hosts()
+	best, bestCount := "", int(^uint(0)>>1)
+	for _, name := range names {
+		st, err := m.HostStats(name)
+		if err != nil || st.Suspended {
+			continue
+		}
+		if len(st.VMs) < bestCount {
+			best, bestCount = name, len(st.VMs)
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("manager: no powered host available")
+	}
+	h, err := m.host(best)
+	if err != nil {
+		return "", err
+	}
+	if err := h.client.Call("Agent.CreateVM", args, nil); err != nil {
+		return "", err
+	}
+	return best, nil
+}
+
+// CreateVMOn creates a VM on a specific host.
+func (m *Manager) CreateVMOn(hostName string, args CreateVMArgs) error {
+	h, err := m.host(hostName)
+	if err != nil {
+		return err
+	}
+	return h.client.Call("Agent.CreateVM", args, nil)
+}
+
+// PartialMigrate consolidates an idle VM from src to dst.
+func (m *Manager) PartialMigrate(id pagestore.VMID, src, dst string) error {
+	s, err := m.host(src)
+	if err != nil {
+		return err
+	}
+	d, err := m.host(dst)
+	if err != nil {
+		return err
+	}
+	return s.client.Call("Agent.PartialMigrate", MigrateArgs{VMID: id, Dest: d.addr}, nil)
+}
+
+// FullMigrate moves a VM in full from src to dst; dst becomes the owner.
+func (m *Manager) FullMigrate(id pagestore.VMID, src, dst string) error {
+	s, err := m.host(src)
+	if err != nil {
+		return err
+	}
+	d, err := m.host(dst)
+	if err != nil {
+		return err
+	}
+	return s.client.Call("Agent.FullMigrate", MigrateArgs{VMID: id, Dest: d.addr}, nil)
+}
+
+// Reintegrate returns a partial VM running on consHost to its owner.
+func (m *Manager) Reintegrate(id pagestore.VMID, consHost, owner string) error {
+	c, err := m.host(consHost)
+	if err != nil {
+		return err
+	}
+	o, err := m.host(owner)
+	if err != nil {
+		return err
+	}
+	return c.client.Call("Agent.Reintegrate", MigrateArgs{VMID: id, Dest: o.addr}, nil)
+}
+
+// Suspend puts a host into (simulated) S3; it fails if VMs still run
+// there. The host's memory server keeps serving pages.
+func (m *Manager) Suspend(name string) error {
+	h, err := m.host(name)
+	if err != nil {
+		return err
+	}
+	return h.client.Call("Agent.Suspend", nil, nil)
+}
+
+// Wake brings a suspended host back (the Wake-on-LAN of §4.1).
+func (m *Manager) Wake(name string) error {
+	h, err := m.host(name)
+	if err != nil {
+		return err
+	}
+	return h.client.Call("Agent.Wake", nil, nil)
+}
+
+// HostStats fetches one agent's statistics.
+func (m *Manager) HostStats(name string) (Stats, error) {
+	h, err := m.host(name)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := h.client.Call("Agent.Stats", nil, &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// WritePage writes guest memory through a host agent (workload
+// emulation for examples and tests).
+func (m *Manager) WritePage(hostName string, id pagestore.VMID, pfn pagestore.PFN, data []byte) error {
+	h, err := m.host(hostName)
+	if err != nil {
+		return err
+	}
+	return h.client.Call("Agent.WritePage", PageArgs{
+		VMID: id, PFN: pfn, Data: base64.StdEncoding.EncodeToString(data),
+	}, nil)
+}
+
+// ReadPage reads guest memory through a host agent; on a partial VM this
+// faults the page in from the memory server.
+func (m *Manager) ReadPage(hostName string, id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
+	h, err := m.host(hostName)
+	if err != nil {
+		return nil, err
+	}
+	var b64 string
+	if err := h.client.Call("Agent.ReadPage", PageArgs{VMID: id, PFN: pfn}, &b64); err != nil {
+		return nil, err
+	}
+	return base64.StdEncoding.DecodeString(b64)
+}

@@ -1,0 +1,341 @@
+// Package cluster implements the Oasis cluster manager — the paper's core
+// contribution (§3): hybrid server consolidation that combines full VM
+// migration (to free hosts of active VMs) with partial VM migration (to
+// densely pack the working sets of idle VMs), per-host low-power memory
+// servers that let sleeping homes keep serving pages, and the
+// consolidation policies OnlyPartial, Default, FulltoPartial and NewHome,
+// plus a FullOnly baseline representing prior live-migration-based
+// consolidation systems.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"oasis/internal/host"
+	"oasis/internal/migration"
+	"oasis/internal/pagestore"
+	"oasis/internal/placement"
+	"oasis/internal/power"
+	"oasis/internal/rng"
+	"oasis/internal/simtime"
+	"oasis/internal/units"
+	"oasis/internal/vm"
+	"oasis/internal/workload"
+)
+
+// Policy selects how the manager reacts to consolidated VM state changes
+// (§3.2).
+type Policy int
+
+// Policies. OnlyPartial and FullOnly are the single-mechanism baselines;
+// Default, FulltoPartial and NewHome are the paper's §3.2 policies.
+const (
+	// OnlyPartial consolidates exclusively with partial migration: a home
+	// host is vacated only when every VM on it is idle, and any VM
+	// activation wakes the home and returns all of its VMs (the Jettison
+	// behaviour).
+	OnlyPartial Policy = iota
+	// Default combines full and partial migration; consolidated VMs stay
+	// on the consolidation host until capacity is exhausted, at which
+	// point the requesting VM's home is woken and all its VMs return.
+	Default
+	// FulltoPartial refines Default: a full VM that becomes idle on a
+	// consolidation host is exchanged for a partial VM (migrated home,
+	// then partially migrated back), freeing consolidation memory.
+	FulltoPartial
+	// NewHome refines FulltoPartial: a partial VM that becomes active and
+	// exhausts its host migrates to any powered host with room before
+	// falling back to the Default wake-the-home behaviour.
+	NewHome
+	// FullOnly is the prior-work baseline [5,15,22,28]: consolidation
+	// uses live full migration only, so every consolidated VM occupies
+	// its whole allocation.
+	FullOnly
+)
+
+// String renders the policy name as used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case OnlyPartial:
+		return "OnlyPartial"
+	case Default:
+		return "Default"
+	case FulltoPartial:
+		return "FulltoPartial"
+	case NewHome:
+		return "NewHome"
+	case FullOnly:
+		return "FullOnly"
+	default:
+		return "unknown"
+	}
+}
+
+// Config sizes a cluster and sets policy and calibration.
+type Config struct {
+	Policy Policy
+
+	// HomeHosts and ConsHosts count compute and consolidation hosts
+	// (§5.1: 30 home hosts, 2-12 consolidation hosts in a 42U rack).
+	HomeHosts int
+	ConsHosts int
+	// VMsPerHost is the number of VMs created on each home host (30).
+	VMsPerHost int
+
+	// VMAlloc is each VM's memory allocation (4 GiB).
+	VMAlloc units.Bytes
+
+	// ClassMix assigns workload classes to VMs round-robin; empty means
+	// all desktops (the §5 VDI farm). §5.6 argues other server workloads
+	// behave at least as well because idle web/db VMs touch less memory
+	// than idle desktops; a mixed cluster exercises that claim.
+	ClassMix []vm.Class
+	// HostCap and HostReserved size host RAM (128 GiB, 4 GiB for dom0).
+	HostCap      units.Bytes
+	HostReserved units.Bytes
+
+	Profile power.Profile
+	Model   migration.Model
+
+	// Seed drives all stochastic choices (working sets, placement).
+	Seed uint64
+
+	// WSGrowthPerHour is how fast a consolidated partial VM's working set
+	// creeps up, eventually exhausting consolidation hosts (§3.2).
+	WSGrowthPerHour units.Bytes
+
+	// ActiveDirtyPerHour and IdleDirtyPerHour model how fast a full VM
+	// dirties memory relative to its last memory-server upload,
+	// determining the differential upload size on re-consolidation.
+	ActiveDirtyPerHour units.Bytes
+	IdleDirtyPerHour   units.Bytes
+
+	// ConsDirtyPerHour models how fast an idle partial VM dirties pages
+	// on the consolidation host (background daemons); this is the state
+	// reintegration must push back (§4.4.3 measured 175.3 MiB after a
+	// 20-minute stay).
+	ConsDirtyPerHour units.Bytes
+	// ReintegrateDirtyFloor is the minimum dirty state a reintegration
+	// pushes.
+	ReintegrateDirtyFloor units.Bytes
+	// ReintegrateDirtyCap bounds it.
+	ReintegrateDirtyCap units.Bytes
+
+	// VacateHeadroom is the fraction of a consolidation host's usable
+	// memory the vacate planner leaves unallocated, so that partial VMs
+	// activating later can convert in place without immediately
+	// exhausting the host and triggering a wake-the-home return.
+	VacateHeadroom float64
+
+	// Placement selects the destination among fitting consolidation
+	// hosts. Nil defaults to placement.RandomBestK{K: 2}: best-fit
+	// packing (so lightly used hosts drain and sleep) with random
+	// tie-spreading. placement.Random{} is the paper's literal §3.1
+	// behaviour; see the placement ablation for the comparison.
+	Placement placement.Strategy
+
+	// VacateDescending reverses the §3.1 vacate ordering (ablation): the
+	// paper sorts compute hosts by total VM memory demand ascending so
+	// the cheapest hosts vacate first; descending vacates the most
+	// expensive first.
+	VacateDescending bool
+
+	// MaxVacateActiveFrac is the §3.1 energy-saving determination for a
+	// single host: a home whose resident VMs are more active than this
+	// fraction is not worth vacating — its consolidated VMs would
+	// convert, exhaust the consolidation host and bounce straight back,
+	// burning migration time and host wakes for no sleep. Activity-heavy
+	// hosts stay powered; the planner revisits them next interval.
+	MaxVacateActiveFrac float64
+
+	// PlanEvery is the manager's consolidation interval (§3.1: a
+	// configurable parameter; the evaluation uses the 5-minute trace
+	// interval).
+	PlanEvery time.Duration
+
+	// ActivationSpread is the window after an interval boundary within
+	// which that interval's user activations actually land; it controls
+	// how hard resume storms collide on consolidation-host NICs.
+	ActivationSpread time.Duration
+
+	// EventLogSize bounds the manager's decision log (Events); zero
+	// disables logging.
+	EventLogSize int
+}
+
+// DefaultConfig returns the §5.1 simulation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Policy:                FulltoPartial,
+		HomeHosts:             30,
+		ConsHosts:             4,
+		VMsPerHost:            30,
+		VMAlloc:               4 * units.GiB,
+		HostCap:               128 * units.GiB,
+		HostReserved:          4 * units.GiB,
+		Profile:               power.DefaultProfile(),
+		Model:                 migration.ClusterModel(),
+		Seed:                  1,
+		WSGrowthPerHour:       8 * units.MiB,
+		ActiveDirtyPerHour:    1700 * units.MiB,
+		IdleDirtyPerHour:      75 * units.MiB,
+		ConsDirtyPerHour:      260 * units.MiB,
+		ReintegrateDirtyFloor: 20 * units.MiB,
+		// Dirty state is bounded: idle background activity rewrites the
+		// same working-set pages, so long stays do not dirty unboundedly
+		// (the paper measured 175.3 MiB after a 20-minute stay).
+		ReintegrateDirtyCap: 256 * units.MiB,
+		VacateHeadroom:      0.15,
+		MaxVacateActiveFrac: 0.30,
+		PlanEvery:           5 * time.Minute,
+		ActivationSpread:    5 * time.Minute,
+	}
+}
+
+// vmMeta is the manager's per-VM bookkeeping beyond the vm.VM state.
+type vmMeta struct {
+	// uploaded reports whether the home's memory server holds an image,
+	// enabling differential upload on the next consolidation.
+	uploaded bool
+	// dirtySinceUpload is the volume dirtied since the last upload.
+	dirtySinceUpload units.Bytes
+	// consolidatedAt is when the current partial episode began.
+	consolidatedAt simtime.Time
+	// consDirty is the dirty state accumulated on the consolidation host
+	// during the current partial episode.
+	consDirty units.Bytes
+}
+
+// Cluster is the manager plus all managed state.
+type Cluster struct {
+	Cfg   Config
+	Sim   *simtime.Simulator
+	Hosts []*host.Host
+	VMs   []*vm.VM
+
+	rand *rng.Rand
+	meta map[pagestore.VMID]*vmMeta
+
+	// busyUntil tracks, per home host, when its NIC finishes the
+	// reintegration transfers already in flight (in absolute sim
+	// seconds). Simultaneous activations of VMs of the same home
+	// serialize on that home's link; transfers to different homes
+	// proceed in parallel across the rack switch. This models the
+	// resume-storm queueing of Figure 11.
+	busyUntil map[int]float64
+	// pendingDelays holds this tick's partial-VM transition delays until
+	// flushDelays resolves them in arrival order.
+	pendingDelays []delayReq
+
+	// events is the bounded decision log (see Events).
+	events []Event
+
+	Stats Stats
+}
+
+// delayReq is one queued transition-delay computation.
+type delayReq struct {
+	home     int
+	instant  float64
+	latency  float64
+	transfer float64
+}
+
+// New builds a cluster: HomeHosts compute hosts each populated with
+// VMsPerHost desktop VMs, plus ConsHosts consolidation hosts, all powered.
+// Consolidation hosts are put to sleep by the first planning pass (they
+// sleep by default, §3.1).
+func New(sim *simtime.Simulator, cfg Config) (*Cluster, error) {
+	if cfg.HomeHosts <= 0 || cfg.ConsHosts < 0 || cfg.VMsPerHost <= 0 {
+		return nil, fmt.Errorf("cluster: invalid sizing %d+%d hosts, %d VMs/host",
+			cfg.HomeHosts, cfg.ConsHosts, cfg.VMsPerHost)
+	}
+	if cfg.VMAlloc*units.Bytes(cfg.VMsPerHost) > cfg.HostCap-cfg.HostReserved {
+		return nil, fmt.Errorf("cluster: %d VMs of %v exceed host capacity %v",
+			cfg.VMsPerHost, cfg.VMAlloc, cfg.HostCap-cfg.HostReserved)
+	}
+	c := &Cluster{
+		Cfg:       cfg,
+		Sim:       sim,
+		rand:      rng.New(cfg.Seed),
+		meta:      make(map[pagestore.VMID]*vmMeta),
+		busyUntil: make(map[int]float64),
+	}
+	c.Stats.init()
+
+	total := cfg.HomeHosts + cfg.ConsHosts
+	for i := 0; i < total; i++ {
+		role := host.Compute
+		name := fmt.Sprintf("home-%02d", i)
+		if i >= cfg.HomeHosts {
+			role = host.Consolidation
+			name = fmt.Sprintf("cons-%02d", i-cfg.HomeHosts)
+		}
+		c.Hosts = append(c.Hosts, host.New(sim, host.Config{
+			ID:       i,
+			Name:     name,
+			Role:     role,
+			Cap:      cfg.HostCap,
+			Reserved: cfg.HostReserved,
+			Profile:  cfg.Profile,
+		}))
+	}
+
+	id := pagestore.VMID(1000)
+	nth := 0
+	for hi := 0; hi < cfg.HomeHosts; hi++ {
+		for j := 0; j < cfg.VMsPerHost; j++ {
+			class := vm.Desktop
+			if len(cfg.ClassMix) > 0 {
+				class = cfg.ClassMix[nth%len(cfg.ClassMix)]
+			}
+			nth++
+			v := &vm.VM{
+				ID:         id,
+				Name:       fmt.Sprintf("vdi-%04d", id),
+				Class:      class,
+				Alloc:      cfg.VMAlloc,
+				VCPUs:      1,
+				Home:       hi,
+				WorkingSet: workload.SampleWorkingSetFor(c.rand, class),
+			}
+			id++
+			if err := c.Hosts[hi].AddVM(v); err != nil {
+				return nil, fmt.Errorf("cluster: initial placement: %w", err)
+			}
+			c.VMs = append(c.VMs, v)
+			c.meta[v.ID] = &vmMeta{}
+		}
+	}
+
+	// Consolidation hosts sleep by default; they are woken on demand.
+	for _, h := range c.Hosts[cfg.HomeHosts:] {
+		if err := h.Suspend(nil); err != nil {
+			return nil, err
+		}
+	}
+	sim.RunUntil(sim.Now().Add(cfg.Profile.SuspendTime))
+	return c, nil
+}
+
+// homeHosts returns the compute hosts.
+func (c *Cluster) homeHosts() []*host.Host { return c.Hosts[:c.Cfg.HomeHosts] }
+
+// consHosts returns the consolidation hosts.
+func (c *Cluster) consHosts() []*host.Host { return c.Hosts[c.Cfg.HomeHosts:] }
+
+// hostByID returns a host.
+func (c *Cluster) hostByID(id int) *host.Host { return c.Hosts[id] }
+
+// classRate returns the idle access rate adapter for a VM's class.
+func classRate(class vm.Class) migration.ClassRate {
+	switch class {
+	case vm.WebServer:
+		return migration.WebRate
+	case vm.DBServer:
+		return migration.DBRate
+	default:
+		return migration.DesktopRate
+	}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/simtime"
+)
+
+// Event is one entry in the manager's decision log: what it did, to which
+// host/VM, and when (simulation time). The log makes a simulated day
+// auditable — why a home woke at 03:40, which exhaustion triggered a
+// return — without wading through per-tick state dumps.
+type Event struct {
+	At   simtime.Time
+	Kind string
+	Host int
+	VM   pagestore.VMID
+	Note string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%v %-14s host=%d", e.At, e.Kind, e.Host)
+	if e.VM != 0 {
+		s += fmt.Sprintf(" vm=%04d", e.VM)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Event kinds recorded by the manager.
+const (
+	EvVacate      = "vacate"      // a home host's VMs were consolidated
+	EvSuspend     = "suspend"     // a host began its S3 transition
+	EvWake        = "wake"        // a host was sent a wake-on-LAN
+	EvConvert     = "convert"     // a partial VM converted to full in place
+	EvExhaust     = "exhaust"     // a consolidation host ran out of room
+	EvReturnAll   = "return-all"  // a home's VMs were all brought back
+	EvExchange    = "exchange"    // an idle full VM was swapped for a partial
+	EvReintegrate = "reintegrate" // a partial VM was pushed back home
+	EvNewHome     = "new-home"    // an activating VM relocated to a new host
+)
+
+// event appends to the bounded log (dropping the oldest entries) when
+// logging is enabled.
+func (c *Cluster) event(kind string, host int, vm pagestore.VMID, note string) {
+	if c.Cfg.EventLogSize <= 0 {
+		return
+	}
+	c.events = append(c.events, Event{At: c.Sim.Now(), Kind: kind, Host: host, VM: vm, Note: note})
+	if over := len(c.events) - c.Cfg.EventLogSize; over > 0 {
+		c.events = append(c.events[:0], c.events[over:]...)
+	}
+}
+
+// Events returns a copy of the recorded decision log (oldest first).
+func (c *Cluster) Events() []Event {
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}

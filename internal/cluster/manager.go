@@ -1,0 +1,811 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"oasis/internal/host"
+	"oasis/internal/placement"
+	"oasis/internal/power"
+	"oasis/internal/units"
+	"oasis/internal/vm"
+	"oasis/internal/workload"
+)
+
+// Tick advances the manager by one planning interval (§3.1: "The cluster
+// manager makes migration plans at periodic intervals"). active[i] gives
+// the trace's activity bit for c.VMs[i] during the interval that starts
+// now. The caller is responsible for advancing the simulation clock
+// between ticks (sim.RunUntil), which fires the asynchronous host
+// transitions the tick schedules.
+func (c *Cluster) Tick(active []bool) error {
+	if len(active) != len(c.VMs) {
+		return fmt.Errorf("cluster: Tick with %d activity bits for %d VMs", len(active), len(c.VMs))
+	}
+
+	// 1. Accrue dirty state and working-set growth over the elapsed
+	// interval, collecting consolidation hosts newly exhausted by growth.
+	c.accrue(c.Cfg.PlanEvery)
+
+	// 2. Apply activity transitions. Activations first: they may trigger
+	// conversions, relocations, or wake-the-home returns.
+	var wentIdle []*vm.VM
+	for i, v := range c.VMs {
+		switch {
+		case active[i] && !v.Active:
+			c.activate(v)
+		case !active[i] && v.Active:
+			v.Active = false
+			c.hostByID(v.Host).NoteVMStateChanged()
+			// A fresh idle episode begins: resample the idle working set
+			// (it is an episode property — what this idle period's
+			// background activity touches — not a monotone attribute).
+			// The VM is full right now, so its charged footprint is
+			// unaffected until it is partially migrated.
+			if !v.Partial {
+				v.WorkingSet = workload.SampleWorkingSetFor(c.rand, v.Class)
+			}
+			wentIdle = append(wentIdle, v)
+		}
+	}
+
+	// 3. FulltoPartial/NewHome: exchange consolidated full VMs that went
+	// idle for partial VMs (§3.2), batched per home host.
+	if c.Cfg.Policy == FulltoPartial || c.Cfg.Policy == NewHome {
+		c.exchangeIdleFulls(wentIdle)
+	}
+
+	// 4. Handle growth-driven exhaustion (one relief per host per tick).
+	c.relieveExhausted()
+
+	// 5. Plan and execute vacations of compute hosts.
+	planned := c.planVacate()
+
+	// 6. Suspend empty consolidation hosts (they sleep by default, §3.1)
+	// unless this tick's plan is about to land VMs on them.
+	for _, h := range c.consHosts() {
+		if h.Powered() && h.NumVMs() == 0 && !planned[h.ID] {
+			c.suspendHost(h)
+		}
+	}
+
+	// 7. Resolve this tick's transition-delay samples in arrival order.
+	c.flushDelays()
+
+	// 8. Sample consolidation ratios for Figure 9.
+	for _, h := range c.consHosts() {
+		if h.Powered() {
+			c.Stats.ConsRatio.Add(float64(h.NumVMs()))
+		}
+	}
+	return nil
+}
+
+// accrue advances per-VM dirty counters and working sets by dt.
+func (c *Cluster) accrue(dt time.Duration) {
+	hours := dt.Hours()
+	for _, v := range c.VMs {
+		m := c.meta[v.ID]
+		if v.Partial {
+			m.consDirty += units.Bytes(float64(c.Cfg.ConsDirtyPerHour) * hours)
+			if m.consDirty > c.Cfg.ReintegrateDirtyCap {
+				m.consDirty = c.Cfg.ReintegrateDirtyCap
+			}
+			// Working-set growth (§3.2) can exhaust the host.
+			old := v.Footprint()
+			v.WorkingSet += units.Bytes(float64(c.Cfg.WSGrowthPerHour) * hours)
+			if v.WorkingSet > v.Alloc {
+				v.WorkingSet = v.Alloc
+			}
+			if err := c.hostByID(v.Host).Recharge(v.ID, old); err != nil {
+				panic(fmt.Sprintf("cluster: recharge invariant: %v", err))
+			}
+			continue
+		}
+		if m.uploaded {
+			rate := c.Cfg.IdleDirtyPerHour
+			if v.Active {
+				rate = c.Cfg.ActiveDirtyPerHour
+			}
+			m.dirtySinceUpload += units.Bytes(float64(rate) * hours)
+			if m.dirtySinceUpload > v.Alloc {
+				m.dirtySinceUpload = v.Alloc
+			}
+		}
+	}
+}
+
+// activate handles an idle→active transition (§3.2).
+func (c *Cluster) activate(v *vm.VM) {
+	v.Active = true
+	c.hostByID(v.Host).NoteVMStateChanged()
+
+	if !v.Partial {
+		// Full VMs already hold all their resources: zero latency.
+		c.Stats.ZeroTransitions++
+		return
+	}
+
+	// Partial VM: it must acquire its full footprint. All paths incur a
+	// reintegration-scale delay (Figure 11); paths that wake the home and
+	// return all of its VMs additionally queue the requester somewhere in
+	// the bulk return (the paper's "VM resume storm" worst case).
+	switch c.Cfg.Policy {
+	case OnlyPartial:
+		// Jettison behaviour: wake the home, return all of its VMs.
+		c.recordPartialDelay(v, c.consolidatedSiblings(v))
+		c.wakeHomeAndReturnAll(c.hostByID(v.Home))
+	case Default, FulltoPartial:
+		if c.convertInPlace(v) {
+			c.recordPartialDelay(v, 0)
+			return
+		}
+		c.Stats.Exhaustions++
+		c.recordPartialDelay(v, c.consolidatedSiblings(v))
+		c.wakeHomeAndReturnAll(c.hostByID(v.Home))
+	case NewHome:
+		if c.convertInPlace(v) {
+			c.recordPartialDelay(v, 0)
+			return
+		}
+		if c.migrateToNewHome(v) {
+			c.recordPartialDelay(v, 0)
+			return
+		}
+		c.Stats.Exhaustions++
+		c.recordPartialDelay(v, c.consolidatedSiblings(v))
+		c.wakeHomeAndReturnAll(c.hostByID(v.Home))
+	case FullOnly:
+		panic("cluster: partial VM under FullOnly policy")
+	}
+}
+
+// consolidatedSiblings counts VMs homed with v that currently live away
+// from the home — the bulk a wake-the-home return moves.
+func (c *Cluster) consolidatedSiblings(v *vm.VM) int {
+	n := 0
+	for _, u := range c.VMs {
+		if u.Home == v.Home && u.Host != u.Home && u.ID != v.ID {
+			n++
+		}
+	}
+	return n
+}
+
+// recordPartialDelay notes that a partial VM must acquire its full
+// footprint: it queues a delay computation for the end of the tick (the
+// queueing model must see this tick's arrivals in time order, so the
+// samples are resolved in flushDelays).
+func (c *Cluster) recordPartialDelay(v *vm.VM, bulkSiblings int) {
+	m := c.meta[v.ID]
+	dirty := c.reintegrateDirty(m)
+	op := c.Cfg.Model.Reintegration(dirty)
+	transfer := op.Latency.Seconds() - c.Cfg.Model.ReintegrateOverhead.Seconds()
+	if transfer < 0 {
+		transfer = 0
+	}
+	// In a bulk return the requester lands at a random position in the
+	// queue of its siblings' reintegrations, all over the home's link.
+	bulkWait := c.rand.Float64() * float64(bulkSiblings) * transfer
+	c.pendingDelays = append(c.pendingDelays, delayReq{
+		home:     v.Home,
+		instant:  c.Sim.Now().Seconds() + c.rand.Float64()*c.Cfg.ActivationSpread.Seconds(),
+		latency:  op.Latency.Seconds() + bulkWait,
+		transfer: transfer,
+	})
+}
+
+// flushDelays resolves this tick's queued delay samples (Figure 11): the
+// arrivals are sorted by their instant within the interval, then each
+// waits for its home's NIC to drain earlier transfers. The base latency
+// covers the S3 resume and switch-over, which overlap the transfer of
+// other VMs to *different* homes but serialize per home.
+func (c *Cluster) flushDelays() {
+	sort.Slice(c.pendingDelays, func(i, j int) bool {
+		return c.pendingDelays[i].instant < c.pendingDelays[j].instant
+	})
+	for _, d := range c.pendingDelays {
+		wait := 0.0
+		if busy := c.busyUntil[d.home]; busy > d.instant {
+			wait = busy - d.instant
+		}
+		c.busyUntil[d.home] = d.instant + wait + d.transfer
+		c.Stats.DelaySample.Add(d.latency + wait)
+	}
+	c.pendingDelays = c.pendingDelays[:0]
+}
+
+// reintegrateDirty clamps a partial VM's accumulated consolidation-side
+// dirty state to the configured floor and cap.
+func (c *Cluster) reintegrateDirty(m *vmMeta) units.Bytes {
+	d := m.consDirty
+	if d < c.Cfg.ReintegrateDirtyFloor {
+		d = c.Cfg.ReintegrateDirtyFloor
+	}
+	if d > c.Cfg.ReintegrateDirtyCap {
+		d = c.Cfg.ReintegrateDirtyCap
+	}
+	return d
+}
+
+// endPartialEpisode accounts the traffic of a finishing partial episode:
+// the on-demand pages fetched while consolidated, and optionally the dirty
+// push of a reintegration.
+func (c *Cluster) endPartialEpisode(v *vm.VM, reintegrated bool) {
+	m := c.meta[v.ID]
+	dur := c.Sim.Now().Sub(m.consolidatedAt)
+	c.Stats.OnDemandBytes += c.Cfg.Model.OnDemandFetch(classRate(v.Class), v.WorkingSet, dur)
+	if reintegrated {
+		dirty := c.reintegrateDirty(m)
+		c.Stats.ReintegrateBytes += dirty
+		c.Stats.Ops.Inc("reintegrate", 1)
+		// The home's image was stale by exactly this dirty state; it now
+		// counts toward the next differential upload.
+		m.dirtySinceUpload += dirty
+		if m.dirtySinceUpload > v.Alloc {
+			m.dirtySinceUpload = v.Alloc
+		}
+	}
+	m.consDirty = 0
+}
+
+// convertInPlace turns an activating partial VM into a full VM on its
+// consolidation host (§3.2 Default with spare capacity). Returns false if
+// the host lacks room.
+func (c *Cluster) convertInPlace(v *vm.VM) bool {
+	h := c.hostByID(v.Host)
+	need := v.FullFootprint() - v.Footprint()
+	if h.Free() < need {
+		return false
+	}
+	c.endPartialEpisode(v, false)
+	old := v.Footprint()
+	v.Partial = false
+	if err := h.Recharge(v.ID, old); err != nil {
+		panic(fmt.Sprintf("cluster: convert recharge: %v", err))
+	}
+	c.event(EvConvert, h.ID, v.ID, "")
+	// Remaining state streams in from the home's memory server, after
+	// which the home frees the image (§4.2). The VM keeps its original
+	// home for policy purposes: §3.2 returns "all full VMs that were
+	// originally homed on the awake host", and FulltoPartial later
+	// exchanges this VM back through that home when it goes idle.
+	c.Stats.ConvertBytes += v.Alloc - v.WorkingSet
+	c.Stats.Ops.Inc("convert-in-place", 1)
+	m := c.meta[v.ID]
+	m.uploaded = false
+	m.dirtySinceUpload = 0
+	return true
+}
+
+// migrateToNewHome relocates an activating partial VM in full to any
+// powered host with room (§3.2 NewHome). Returns false if none fits.
+func (c *Cluster) migrateToNewHome(v *vm.VM) bool {
+	var dest *host.Host
+	for _, h := range c.Hosts {
+		if h.ID != v.Host && h.Powered() && h.Free() >= v.FullFootprint() {
+			dest = h
+			break
+		}
+	}
+	if dest == nil {
+		return false
+	}
+	c.endPartialEpisode(v, false)
+	src := c.hostByID(v.Host)
+	if err := src.RemoveVM(v.ID); err != nil {
+		panic(fmt.Sprintf("cluster: newhome remove: %v", err))
+	}
+	v.Partial = false
+	if err := dest.AddVM(v); err != nil {
+		panic(fmt.Sprintf("cluster: newhome add: %v", err))
+	}
+	c.Stats.FullBytes += v.Alloc
+	c.Stats.Ops.Inc("full-newhome", 1)
+	c.event(EvNewHome, dest.ID, v.ID, "")
+	// The home's memory-server image is freed once the full state has
+	// been transferred; the VM keeps its original home.
+	m := c.meta[v.ID]
+	m.uploaded = false
+	m.dirtySinceUpload = 0
+	return true
+}
+
+// wakeHomeAndReturnAll wakes a home host and returns every VM homed on it
+// (§3.2 Default: "once a host is awake there is little benefit in leaving
+// its partial VMs on the consolidation hosts"). The return executes when
+// the host reaches Powered; if it is already powered it runs immediately.
+func (c *Cluster) wakeHomeAndReturnAll(h *host.Host) {
+	if h.Sleeping() || h.InTransit() {
+		c.Stats.Ops.Inc("home-wake", 1)
+		c.event(EvWake, h.ID, 0, "for bulk return")
+	}
+	h.Wake(func() {
+		h.SetMemServer(false)
+		c.event(EvReturnAll, h.ID, 0, "")
+		c.returnAllHome(h)
+	})
+}
+
+// returnAllHome reintegrates/migrates back every VM homed on h.
+func (c *Cluster) returnAllHome(h *host.Host) {
+	for _, v := range c.VMs {
+		if v.Home != h.ID || v.Host == h.ID || v.Host == vm.NoHost {
+			continue
+		}
+		src := c.hostByID(v.Host)
+		if !h.Fits(v.FullFootprint()) {
+			// Cannot happen while every VM returns at its original
+			// allocation, but guard against future policy interplay.
+			continue
+		}
+		if err := src.RemoveVM(v.ID); err != nil {
+			panic(fmt.Sprintf("cluster: return remove: %v", err))
+		}
+		if v.Partial {
+			c.endPartialEpisode(v, true)
+			v.Partial = false
+			c.event(EvReintegrate, h.ID, v.ID, "")
+		} else {
+			c.Stats.FullBytes += v.Alloc
+			c.Stats.Ops.Inc("full-return", 1)
+		}
+		if err := h.AddVM(v); err != nil {
+			panic(fmt.Sprintf("cluster: return add: %v", err))
+		}
+	}
+}
+
+// exchangeIdleFulls performs the FulltoPartial exchange for consolidated
+// full VMs that went idle this interval: wake the home, migrate the VM
+// home in full, partially migrate it back to the same consolidation host,
+// and let the home sleep again (§3.2).
+func (c *Cluster) exchangeIdleFulls(wentIdle []*vm.VM) {
+	batches := make(map[int][]*vm.VM)
+	for _, v := range wentIdle {
+		if !v.Partial && v.Consolidated() && v.Home != v.Host {
+			batches[v.Home] = append(batches[v.Home], v)
+		}
+	}
+	for homeID, vs := range batches {
+		h := c.hostByID(homeID)
+		vs := vs
+		wasAsleep := h.Sleeping() || h.InTransit()
+		if wasAsleep {
+			c.Stats.Ops.Inc("home-wake-exchange", 1)
+		}
+		h.Wake(func() {
+			h.SetMemServer(false)
+			var busy time.Duration
+			for _, v := range vs {
+				if v.Active || v.Partial || !v.Consolidated() {
+					continue // state changed while the home resumed
+				}
+				if d, ok := c.exchangeOne(h, v); ok {
+					busy += d
+				}
+			}
+			// The home returns to sleep once the exchange completes,
+			// unless it picked up VMs meanwhile.
+			if h.NumVMs() == 0 {
+				c.Sim.After(busy, fmt.Sprintf("exchange-sleep-%d", h.ID), func() {
+					if h.Powered() && h.NumVMs() == 0 {
+						c.suspendHost(h)
+					}
+				})
+			}
+		})
+	}
+}
+
+// exchangeOne swaps one idle full VM on a consolidation host for a partial
+// VM, reporting the home-host busy time it cost.
+func (c *Cluster) exchangeOne(home *host.Host, v *vm.VM) (time.Duration, bool) {
+	cons := c.hostByID(v.Host)
+	if !home.Fits(v.FullFootprint()) {
+		return 0, false
+	}
+	// Full migration home.
+	if err := cons.RemoveVM(v.ID); err != nil {
+		panic(fmt.Sprintf("cluster: exchange remove: %v", err))
+	}
+	if err := home.AddVM(v); err != nil {
+		panic(fmt.Sprintf("cluster: exchange add home: %v", err))
+	}
+	fullOp := c.Cfg.Model.FullMigration(v.Alloc, false)
+	c.Stats.FullBytes += fullOp.NetBytes
+	c.Stats.Ops.Inc("full-exchange", 1)
+	c.event(EvExchange, cons.ID, v.ID, "")
+
+	// Partial migration back to the same consolidation host.
+	d, ok := c.partialMigrate(v, cons)
+	if !ok {
+		// No room to go back (working set grew, or the freed space was
+		// claimed); the VM stays home as a full idle VM and the regular
+		// planner deals with it next interval.
+		return fullOp.Latency, true
+	}
+	return fullOp.Latency + d, true
+}
+
+// partialMigrate consolidates an idle VM from its current host to dest as
+// a partial VM: upload the memory image (differential when the memory
+// server already holds one) and push the descriptor. Returns the
+// operation latency, or false if dest lacks room.
+func (c *Cluster) partialMigrate(v *vm.VM, dest *host.Host) (time.Duration, bool) {
+	if !dest.Powered() || !dest.Fits(vm.ChunkRound(v.WorkingSet)) {
+		return 0, false
+	}
+	src := c.hostByID(v.Host)
+	m := c.meta[v.ID]
+	upload := v.Alloc
+	first := !m.uploaded
+	if m.uploaded {
+		upload = m.dirtySinceUpload
+	}
+	op := c.Cfg.Model.PartialMigration(upload, c.descSize(v), first)
+	c.Stats.DescriptorBytes += op.NetBytes
+	c.Stats.SASBytes += op.SASBytes
+	if first {
+		c.Stats.Ops.Inc("partial-first", 1)
+	} else {
+		c.Stats.Ops.Inc("partial-diff", 1)
+	}
+	if err := src.RemoveVM(v.ID); err != nil {
+		panic(fmt.Sprintf("cluster: partial remove: %v", err))
+	}
+	v.Partial = true
+	if err := dest.AddVM(v); err != nil {
+		panic(fmt.Sprintf("cluster: partial add: %v", err))
+	}
+	m.uploaded = true
+	m.dirtySinceUpload = 0
+	m.consDirty = 0
+	m.consolidatedAt = c.Sim.Now()
+	return op.Latency, true
+}
+
+// descSize returns the modelled descriptor wire size for a VM (§4.4.3:
+// ~16 MiB for a 4 GiB guest).
+func (c *Cluster) descSize(v *vm.VM) units.Bytes {
+	return units.Bytes(float64(4*units.MiB) * v.Alloc.GiBf())
+}
+
+// relieveExhausted finds consolidation hosts pushed past capacity by
+// working-set growth and relieves each by returning one partial VM's home
+// worth of VMs (§3.2).
+func (c *Cluster) relieveExhausted() {
+	for _, h := range c.consHosts() {
+		if !h.Exhausted() {
+			continue
+		}
+		// Pick the partial VM with the largest footprint as the
+		// "requesting" VM.
+		var victim *vm.VM
+		for _, v := range h.VMs() {
+			if v.Partial && (victim == nil || v.Footprint() > victim.Footprint()) {
+				victim = v
+			}
+		}
+		if victim == nil {
+			continue
+		}
+		// Growth exhaustion always takes the Default path: the grown VM
+		// is idle, so NewHome's relocate-the-active-VM refinement does
+		// not apply (§3.2).
+		c.Stats.Exhaustions++
+		c.event(EvExhaust, h.ID, victim.ID, "working-set growth")
+		c.wakeHomeAndReturnAll(c.hostByID(victim.Home))
+	}
+}
+
+// suspendHost suspends an empty host, switching on its memory server if
+// it is a compute host (the §5.1 rule: a home host in S3 has its
+// low-power memory server turned on; consolidation hosts' servers are
+// never powered).
+func (c *Cluster) suspendHost(h *host.Host) {
+	c.event(EvSuspend, h.ID, 0, "")
+	if err := h.Suspend(func() {
+		if h.Role == host.Compute {
+			h.SetMemServer(true)
+		}
+	}); err != nil {
+		panic(fmt.Sprintf("cluster: suspend: %v", err))
+	}
+}
+
+// planVacate searches for compute hosts whose VMs can all be moved to
+// consolidation hosts, and executes those vacations (§3.1 "Where to
+// migrate"): hosts are sorted by total VM memory demand ascending and
+// destinations are chosen at random among consolidation hosts with
+// capacity. It returns the set of consolidation hosts the plan targets.
+func (c *Cluster) planVacate() map[int]bool {
+	type cand struct {
+		h      *host.Host
+		demand units.Bytes
+	}
+	var cands []cand
+	for _, h := range c.homeHosts() {
+		if !h.Powered() || h.NumVMs() == 0 {
+			continue
+		}
+		if c.Cfg.Policy == OnlyPartial && h.ActiveVMs() > 0 {
+			continue
+		}
+		if c.Cfg.MaxVacateActiveFrac > 0 &&
+			float64(h.ActiveVMs()) > c.Cfg.MaxVacateActiveFrac*float64(h.NumVMs()) {
+			continue
+		}
+		cands = append(cands, cand{h, h.Used()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].demand != cands[j].demand {
+			if c.Cfg.VacateDescending {
+				return cands[i].demand > cands[j].demand
+			}
+			return cands[i].demand < cands[j].demand
+		}
+		return cands[i].h.ID < cands[j].h.ID
+	})
+
+	// Tentative free capacity per consolidation host, counting both
+	// currently powered and sleeping ones (sleeping hosts can be woken to
+	// accommodate incoming VMs, §3.1; a host mid-transition completes it
+	// and then serves the queued wake).
+	free := make(map[int]units.Bytes)
+	for _, h := range c.consHosts() {
+		free[h.ID] = h.Free()
+	}
+
+	// Build the full plan first, allowing sleeping consolidation hosts
+	// as destinations.
+	type hostPlan struct {
+		h      *host.Host
+		assign []assignment
+	}
+	buildPlans := func(allowSleeping bool) ([]hostPlan, map[int]bool) {
+		f := make(map[int]units.Bytes, len(free))
+		for id, b := range free {
+			f[id] = b
+		}
+		woken := make(map[int]bool)
+		var plans []hostPlan
+		for _, cd := range cands {
+			assign, ok := c.assignVMs(cd.h, f, woken, allowSleeping)
+			if !ok {
+				continue
+			}
+			plans = append(plans, hostPlan{cd.h, assign})
+		}
+		return plans, woken
+	}
+
+	plans, woken := buildPlans(true)
+
+	// Energy gating (§3.1: consolidate "only when it determines that
+	// doing so can save energy"): waking a consolidation host costs
+	// power; executing the plan must come out ahead.
+	p := c.Cfg.Profile
+	saveW := p.HostPower(power.Powered, 0) - (p.SleepW + p.MemServerW)
+	wakeW := p.HostPower(power.Powered, 0) - p.SleepW
+	newWakes := 0
+	for id := range woken {
+		if !c.hostByID(id).Powered() {
+			newWakes++
+		}
+	}
+	if float64(len(plans))*saveW <= float64(newWakes)*wakeW {
+		// The plan is a net loss; retry against powered hosts only.
+		plans, _ = buildPlans(false)
+	}
+
+	planned := make(map[int]bool)
+	for _, pl := range plans {
+		for _, a := range pl.assign {
+			planned[a.dest] = true
+		}
+		c.executeVacate(pl.h, pl.assign)
+	}
+	return planned
+}
+
+// assignment maps a VM to a destination host and residency mode.
+type assignment struct {
+	v       *vm.VM
+	dest    int
+	partial bool
+}
+
+// assignVMs tries to place every VM of h onto consolidation hosts using
+// the tentative free map; on success the map is updated and the plan
+// returned. wokenPlanned tracks sleeping consolidation hosts earlier
+// plans already committed to waking this tick.
+func (c *Cluster) assignVMs(h *host.Host, free map[int]units.Bytes, wokenPlanned map[int]bool, allowSleeping bool) ([]assignment, bool) {
+	vms := h.VMs()
+	// Deterministic order for reproducibility.
+	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
+	var plan []assignment
+	spent := make(map[int]units.Bytes)
+	for _, v := range vms {
+		partial := !v.Active && c.Cfg.Policy != FullOnly
+		need := v.FullFootprint()
+		if partial {
+			need = vm.ChunkRound(v.WorkingSet)
+		}
+		dest, ok := c.pickConsHost(need, free, spent, wokenPlanned, allowSleeping)
+		if !ok {
+			return nil, false
+		}
+		spent[dest] += need
+		plan = append(plan, assignment{v: v, dest: dest, partial: partial})
+	}
+	for id, n := range spent {
+		free[id] -= n
+		wokenPlanned[id] = true
+	}
+	return plan, true
+}
+
+// pickConsHost selects a destination among consolidation hosts whose
+// tentative free capacity fits need while preserving the planning
+// headroom. Powered (or already-planned-to-wake) hosts are preferred —
+// a consolidation host "is awakened only to accommodate incoming VMs"
+// (§3.1) — and among those the fullest fitting host wins (best fit), so
+// that lightly-used consolidation hosts drain empty and can sleep instead
+// of all staying powered. Random tie-breaking keeps placement spread when
+// hosts are equally full.
+func (c *Cluster) pickConsHost(need units.Bytes, free, spent map[int]units.Bytes, wokenPlanned map[int]bool, allowSleeping bool) (int, bool) {
+	var poweredFits, sleepingFits []int
+	for _, h := range c.consHosts() {
+		reserve := units.Bytes(c.Cfg.VacateHeadroom * float64(h.Usable()))
+		if free[h.ID]-spent[h.ID]-need < reserve {
+			continue
+		}
+		if h.Powered() || wokenPlanned[h.ID] || spent[h.ID] > 0 {
+			poweredFits = append(poweredFits, h.ID)
+		} else if allowSleeping {
+			sleepingFits = append(sleepingFits, h.ID)
+		}
+	}
+	fits := poweredFits
+	if len(fits) == 0 {
+		fits = sleepingFits
+	}
+	if len(fits) == 0 {
+		return 0, false
+	}
+	cands := make([]placement.Candidate, len(fits))
+	for i, id := range fits {
+		cands[i] = placement.Candidate{ID: id, Free: free[id] - spent[id]}
+	}
+	strat := c.Cfg.Placement
+	if strat == nil {
+		strat = placement.RandomBestK{K: 2}
+	}
+	return strat.Pick(cands, c.rand), true
+}
+
+// executeVacate wakes the needed consolidation hosts and moves h's VMs,
+// then schedules h's suspend after the serialized migration latency.
+func (c *Cluster) executeVacate(h *host.Host, plan []assignment) {
+	// Wake any sleeping destinations first.
+	needWake := false
+	woken := map[int]bool{}
+	for _, a := range plan {
+		dest := c.hostByID(a.dest)
+		if !dest.Powered() && !woken[a.dest] {
+			needWake = true
+			woken[a.dest] = true
+			c.Stats.Ops.Inc("cons-wake", 1)
+			dest.Wake(nil)
+		}
+	}
+	delay := time.Duration(0)
+	if needWake {
+		delay = c.Cfg.Profile.ResumeTime + time.Millisecond
+	}
+	c.Sim.After(delay, fmt.Sprintf("vacate-%d", h.ID), func() {
+		var busy time.Duration
+		moved := 0
+		for _, a := range plan {
+			v := a.v
+			if v.Host != h.ID {
+				continue // moved by an intervening event
+			}
+			dest := c.hostByID(a.dest)
+			if a.partial && !v.Active {
+				if d, ok := c.partialMigrate(v, dest); ok {
+					busy += d
+					moved++
+				}
+				continue
+			}
+			// Full migration (active VM, or FullOnly policy).
+			if !dest.Powered() || !dest.Fits(v.FullFootprint()) {
+				continue
+			}
+			if err := h.RemoveVM(v.ID); err != nil {
+				panic(fmt.Sprintf("cluster: vacate remove: %v", err))
+			}
+			if err := dest.AddVM(v); err != nil {
+				panic(fmt.Sprintf("cluster: vacate add: %v", err))
+			}
+			op := c.Cfg.Model.FullMigration(v.Alloc, v.Active)
+			c.Stats.FullBytes += op.NetBytes
+			c.Stats.Ops.Inc("full-vacate", 1)
+			// Full migration frees any memory-server image at the source
+			// (§4.2).
+			m := c.meta[v.ID]
+			m.uploaded = false
+			m.dirtySinceUpload = 0
+			busy += op.Latency
+			moved++
+		}
+		if moved == 0 {
+			return
+		}
+		c.event(EvVacate, h.ID, 0, fmt.Sprintf("%d VMs moved", moved))
+		c.Sim.After(busy, fmt.Sprintf("vacate-sleep-%d", h.ID), func() {
+			if h.Powered() && h.NumVMs() == 0 {
+				c.suspendHost(h)
+			}
+		})
+	})
+}
+
+// PoweredHosts counts hosts currently powered or in transit — the
+// "fully powered hosts" series of Figure 7 counts a transitioning host as
+// drawing full power, which it does.
+func (c *Cluster) PoweredHosts() int {
+	n := 0
+	for _, h := range c.Hosts {
+		if !h.Sleeping() {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveVMs counts currently active VMs.
+func (c *Cluster) ActiveVMs() int {
+	n := 0
+	for _, v := range c.VMs {
+		if v.Active {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushEpisodes closes out the on-demand accounting of partial episodes
+// still open at the end of a run.
+func (c *Cluster) FlushEpisodes() {
+	for _, v := range c.VMs {
+		if v.Partial {
+			m := c.meta[v.ID]
+			dur := c.Sim.Now().Sub(m.consolidatedAt)
+			c.Stats.OnDemandBytes += c.Cfg.Model.OnDemandFetch(classRate(v.Class), v.WorkingSet, dur)
+			m.consolidatedAt = c.Sim.Now()
+		}
+	}
+}
+
+// TotalEnergyJoules sums host and memory-server energy through now.
+func (c *Cluster) TotalEnergyJoules() float64 {
+	var total float64
+	for _, h := range c.Hosts {
+		total += h.Meter().TotalJoules(c.Sim.Now())
+	}
+	return total
+}
+
+// HomeHostEnergyJoules sums the energy of home hosts only (with their
+// memory servers), matching the paper's savings normalisation.
+func (c *Cluster) HomeHostEnergyJoules() float64 {
+	var total float64
+	for _, h := range c.homeHosts() {
+		total += h.Meter().TotalJoules(c.Sim.Now())
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"oasis/internal/metrics"
+	"oasis/internal/units"
+)
+
+// Stats accumulates the measurements the evaluation reports: network
+// traffic by category (Figure 10), idle→active transition delays
+// (Figure 11), consolidation ratios (Figure 9), and operation counts.
+type Stats struct {
+	// Network traffic (bytes on the datacenter network).
+	FullBytes        units.Bytes // full migrations: vacates, returns, exchanges
+	ConvertBytes     units.Bytes // partial→full in-place conversions (remaining state)
+	DescriptorBytes  units.Bytes // partial-migration descriptor pushes
+	OnDemandBytes    units.Bytes // page faults served to partial VMs
+	ReintegrateBytes units.Bytes // dirty state pushed back on reintegration
+
+	// SASBytes is written over host-local SAS links to memory servers;
+	// by design it never reaches the network (§4.3).
+	SASBytes units.Bytes
+
+	// Ops counts migration operations by kind.
+	Ops metrics.Counter
+
+	// Transition-delay accounting (Figure 11): transitions of full VMs
+	// are zero-latency; partial-VM transitions sample the reintegration
+	// delay including NIC queueing.
+	ZeroTransitions int64
+	DelaySample     metrics.Sample // seconds, non-zero transitions only
+
+	// ConsRatio samples the number of VMs per powered consolidation host
+	// at every planning interval (Figure 9).
+	ConsRatio metrics.Sample
+
+	// Exhaustions counts consolidation-host capacity exhaustion events.
+	Exhaustions int64
+}
+
+func (s *Stats) init() {
+	s.Ops = metrics.Counter{}
+}
+
+// NetworkBytes returns total datacenter network traffic.
+func (s *Stats) NetworkBytes() units.Bytes {
+	return s.FullBytes + s.ConvertBytes + s.DescriptorBytes + s.OnDemandBytes + s.ReintegrateBytes
+}
+
+// PartialBytes returns the traffic attributable to the partial-migration
+// mechanism (descriptors, on-demand fetches, reintegration pushes).
+func (s *Stats) PartialBytes() units.Bytes {
+	return s.DescriptorBytes + s.OnDemandBytes + s.ReintegrateBytes
+}
+
+// Transitions returns the total number of idle→active transitions seen.
+func (s *Stats) Transitions() int64 {
+	return s.ZeroTransitions + int64(s.DelaySample.N())
+}
+
+// ZeroDelayFraction returns the fraction of idle→active transitions with
+// zero user-perceived latency (the VM was full).
+func (s *Stats) ZeroDelayFraction() float64 {
+	total := s.Transitions()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ZeroTransitions) / float64(total)
+}
+
+// DelayPercentile returns the p-th percentile of the *overall* transition
+// delay distribution, counting zero-latency transitions as zeros.
+func (s *Stats) DelayPercentile(p float64) float64 {
+	total := float64(s.Transitions())
+	if total == 0 {
+		return 0
+	}
+	zeroFrac := float64(s.ZeroTransitions) / total
+	if p/100 <= zeroFrac {
+		return 0
+	}
+	// Map the overall percentile into the non-zero sample.
+	rest := (p/100 - zeroFrac) / (1 - zeroFrac) * 100
+	return s.DelaySample.Percentile(rest)
+}

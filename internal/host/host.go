@@ -1,0 +1,324 @@
+// Package host models a physical server in an Oasis cluster: its memory
+// capacity, the VMs resident on it, its ACPI power-state machine with the
+// measured S3 transition times, and its attached low-power memory server.
+package host
+
+import (
+	"fmt"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/power"
+	"oasis/internal/simtime"
+	"oasis/internal/units"
+	"oasis/internal/vm"
+)
+
+// Role distinguishes compute (home) hosts from consolidation hosts (§3.1,
+// Figure 3).
+type Role int
+
+// Host roles.
+const (
+	Compute Role = iota
+	Consolidation
+)
+
+// String renders the role name.
+func (r Role) String() string {
+	if r == Consolidation {
+		return "consolidation"
+	}
+	return "compute"
+}
+
+// ErrCapacity is returned when a placement would exceed host memory.
+type ErrCapacity struct {
+	Host int
+	Need units.Bytes
+	Free units.Bytes
+}
+
+// Error implements error.
+func (e *ErrCapacity) Error() string {
+	return fmt.Sprintf("host %d: need %v but only %v free", e.Host, e.Need, e.Free)
+}
+
+// Host is one physical server.
+type Host struct {
+	ID   int
+	Name string
+	Role Role
+
+	// Cap is total RAM; Reserved is the slice the administrative domain
+	// (dom0) and hypervisor keep.
+	Cap      units.Bytes
+	Reserved units.Bytes
+
+	// Overcommit scales usable memory; the paper's assumption 1 notes
+	// memory over-commitment is safe only up to ~1.5x. Default 1.0.
+	Overcommit float64
+
+	sim     *simtime.Simulator
+	profile power.Profile
+	meter   *power.Meter
+
+	state       power.State
+	pendingWake []func()
+	memServerOn bool
+
+	vms  map[pagestore.VMID]*vm.VM
+	used units.Bytes
+
+	// Transition counters for the evaluation.
+	Suspends int
+	Resumes  int
+}
+
+// Config describes a host to create.
+type Config struct {
+	ID         int
+	Name       string
+	Role       Role
+	Cap        units.Bytes
+	Reserved   units.Bytes
+	Overcommit float64
+	Profile    power.Profile
+}
+
+// New creates a powered host attached to the simulator's clock.
+func New(sim *simtime.Simulator, cfg Config) *Host {
+	if cfg.Overcommit <= 0 {
+		cfg.Overcommit = 1.0
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("host-%d", cfg.ID)
+	}
+	return &Host{
+		ID:         cfg.ID,
+		Name:       cfg.Name,
+		Role:       cfg.Role,
+		Cap:        cfg.Cap,
+		Reserved:   cfg.Reserved,
+		Overcommit: cfg.Overcommit,
+		sim:        sim,
+		profile:    cfg.Profile,
+		meter:      power.NewMeter(cfg.Profile),
+		state:      power.Powered,
+		vms:        make(map[pagestore.VMID]*vm.VM),
+	}
+}
+
+// State returns the host's power state.
+func (h *Host) State() power.State { return h.state }
+
+// Powered reports whether the host can run VMs right now.
+func (h *Host) Powered() bool { return h.state == power.Powered }
+
+// Sleeping reports whether the host is in S3.
+func (h *Host) Sleeping() bool { return h.state == power.Sleeping }
+
+// InTransit reports whether the host is between power modes.
+func (h *Host) InTransit() bool {
+	return h.state == power.Suspending || h.state == power.Resuming
+}
+
+// Meter exposes the host's energy meter.
+func (h *Host) Meter() *power.Meter { return h.meter }
+
+// Usable returns the memory available to VMs.
+func (h *Host) Usable() units.Bytes {
+	return units.Bytes(float64(h.Cap-h.Reserved) * h.Overcommit)
+}
+
+// Used returns the memory pinned by resident VMs.
+func (h *Host) Used() units.Bytes { return h.used }
+
+// Free returns unpinned usable memory.
+func (h *Host) Free() units.Bytes { return h.Usable() - h.used }
+
+// Fits reports whether need bytes can be placed on the host.
+func (h *Host) Fits(need units.Bytes) bool { return need <= h.Free() }
+
+// NumVMs returns the count of resident VMs.
+func (h *Host) NumVMs() int { return len(h.vms) }
+
+// VMs returns the resident VMs (unspecified order).
+func (h *Host) VMs() []*vm.VM {
+	out := make([]*vm.VM, 0, len(h.vms))
+	for _, v := range h.vms {
+		out = append(out, v)
+	}
+	return out
+}
+
+// VM returns a resident VM by id, or nil.
+func (h *Host) VM(id pagestore.VMID) *vm.VM { return h.vms[id] }
+
+// ActiveVMs counts resident active VMs.
+func (h *Host) ActiveVMs() int {
+	n := 0
+	for _, v := range h.vms {
+		if v.Active {
+			n++
+		}
+	}
+	return n
+}
+
+// AddVM places a VM on the host, charging its footprint. It fails if the
+// host lacks capacity or is not powered.
+func (h *Host) AddVM(v *vm.VM) error {
+	if h.state != power.Powered {
+		return fmt.Errorf("host %d: cannot place vm%04d while %v", h.ID, v.ID, h.state)
+	}
+	need := v.Footprint()
+	if !h.Fits(need) {
+		return &ErrCapacity{Host: h.ID, Need: need, Free: h.Free()}
+	}
+	if _, ok := h.vms[v.ID]; ok {
+		return fmt.Errorf("host %d: vm%04d already resident", h.ID, v.ID)
+	}
+	h.vms[v.ID] = v
+	h.used += need
+	v.Host = h.ID
+	h.refreshPower()
+	return nil
+}
+
+// RemoveVM takes a VM off the host, releasing its footprint.
+func (h *Host) RemoveVM(id pagestore.VMID) error {
+	v, ok := h.vms[id]
+	if !ok {
+		return fmt.Errorf("host %d: vm%04d not resident", h.ID, id)
+	}
+	delete(h.vms, id)
+	h.used -= v.Footprint()
+	h.refreshPower()
+	return nil
+}
+
+// Recharge re-accounts a resident VM's footprint after its residency mode
+// or working set changed. delta is applied against host capacity; growth
+// beyond capacity is allowed here (detection happens in the manager's
+// exhaustion check) so that working-set growth can actually exhaust a
+// host, as §3.2 describes.
+func (h *Host) Recharge(id pagestore.VMID, old units.Bytes) error {
+	v, ok := h.vms[id]
+	if !ok {
+		return fmt.Errorf("host %d: vm%04d not resident", h.ID, id)
+	}
+	h.used += v.Footprint() - old
+	h.refreshPower()
+	return nil
+}
+
+// Exhausted reports whether resident footprints exceed usable memory.
+func (h *Host) Exhausted() bool { return h.used > h.Usable() }
+
+// refreshPower re-derives meter inputs from resident VM states.
+func (h *Host) refreshPower() {
+	h.meter.SetActiveVMs(h.sim.Now(), h.ActiveVMs())
+}
+
+// NoteVMStateChanged must be called after a resident VM flips between
+// active and idle so the power model tracks the load.
+func (h *Host) NoteVMStateChanged() { h.refreshPower() }
+
+// MemServerOn reports whether the host's low-power memory server is
+// powered.
+func (h *Host) MemServerOn() bool { return h.memServerOn }
+
+// SetMemServer powers the host's memory server on or off.
+func (h *Host) SetMemServer(on bool) {
+	if h.memServerOn == on {
+		return
+	}
+	h.memServerOn = on
+	h.meter.SetMemServer(h.sim.Now(), on)
+}
+
+// Suspend starts the transition to S3. It fails if VMs are resident (the
+// manager must migrate them first) or the host is not powered. done, if
+// non-nil, runs when the host reaches S3.
+func (h *Host) Suspend(done func()) error {
+	if h.state != power.Powered {
+		return fmt.Errorf("host %d: suspend while %v", h.ID, h.state)
+	}
+	if len(h.vms) > 0 {
+		return fmt.Errorf("host %d: suspend with %d resident VMs", h.ID, len(h.vms))
+	}
+	h.setState(power.Suspending)
+	h.Suspends++
+	h.sim.After(h.profile.SuspendTime, fmt.Sprintf("host%d-suspend", h.ID), func() {
+		h.setState(power.Sleeping)
+		if done != nil {
+			done()
+		}
+		h.drainWakes()
+	})
+	return nil
+}
+
+// Wake brings a sleeping host back to Powered (the manager sends a
+// Wake-on-LAN, §4.1). done runs once the host is powered; if the host is
+// mid-suspend the wake is queued behind the completing transition, and if
+// it is already powered done runs immediately.
+func (h *Host) Wake(done func()) {
+	switch h.state {
+	case power.Powered:
+		if done != nil {
+			done()
+		}
+	case power.Resuming:
+		if done != nil {
+			h.pendingWake = append(h.pendingWake, done)
+		}
+	case power.Suspending:
+		// Queue: the resume starts after the suspend completes.
+		h.pendingWake = append(h.pendingWake, func() {})
+		if done != nil {
+			h.pendingWake = append(h.pendingWake, done)
+		}
+	case power.Sleeping:
+		h.startResume(done)
+	}
+}
+
+func (h *Host) startResume(done func()) {
+	h.setState(power.Resuming)
+	h.Resumes++
+	if done != nil {
+		h.pendingWake = append(h.pendingWake, done)
+	}
+	h.sim.After(h.profile.ResumeTime, fmt.Sprintf("host%d-resume", h.ID), func() {
+		h.setState(power.Powered)
+		cbs := h.pendingWake
+		h.pendingWake = nil
+		for _, cb := range cbs {
+			cb()
+		}
+	})
+}
+
+// drainWakes fires a queued resume after a suspend completes.
+func (h *Host) drainWakes() {
+	if h.state == power.Sleeping && len(h.pendingWake) > 0 {
+		cbs := h.pendingWake
+		h.pendingWake = nil
+		h.startResume(func() {
+			for _, cb := range cbs {
+				cb()
+			}
+		})
+	}
+}
+
+func (h *Host) setState(s power.State) {
+	h.state = s
+	h.meter.SetState(h.sim.Now(), s)
+}
+
+// String summarises the host.
+func (h *Host) String() string {
+	return fmt.Sprintf("%s(%v,%v,%d vms,%v/%v)", h.Name, h.Role, h.state, len(h.vms), h.used, h.Usable())
+}

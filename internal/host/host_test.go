@@ -1,0 +1,295 @@
+package host
+
+import (
+	"errors"
+	"testing"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/power"
+	"oasis/internal/simtime"
+	"oasis/internal/units"
+	"oasis/internal/vm"
+)
+
+func newTestHost(sim *simtime.Simulator, id int, role Role) *Host {
+	return New(sim, Config{
+		ID:       id,
+		Role:     role,
+		Cap:      128 * units.GiB,
+		Reserved: 4 * units.GiB,
+		Profile:  power.DefaultProfile(),
+	})
+}
+
+func TestCapacityAccounting(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	if h.Usable() != 124*units.GiB {
+		t.Fatalf("Usable = %v", h.Usable())
+	}
+	v := &vm.VM{ID: 1, Alloc: 4 * units.GiB, Home: 0}
+	if err := h.AddVM(v); err != nil {
+		t.Fatal(err)
+	}
+	if h.Used() != 4*units.GiB || h.NumVMs() != 1 || v.Host != 0 {
+		t.Fatalf("after add: used=%v n=%d host=%d", h.Used(), h.NumVMs(), v.Host)
+	}
+	if err := h.AddVM(v); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if err := h.RemoveVM(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Used() != 0 {
+		t.Fatalf("after remove: used=%v", h.Used())
+	}
+	if err := h.RemoveVM(1); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestCapacityLimit(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	// 31 x 4 GiB = 124 GiB fits exactly; the 32nd must fail.
+	for i := 0; i < 31; i++ {
+		if err := h.AddVM(&vm.VM{ID: pagestore.VMID(i + 1), Alloc: 4 * units.GiB}); err != nil {
+			t.Fatalf("vm %d: %v", i, err)
+		}
+	}
+	err := h.AddVM(&vm.VM{ID: 99, Alloc: 4 * units.GiB})
+	var ce *ErrCapacity
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected ErrCapacity, got %v", err)
+	}
+	if h.Fits(4 * units.GiB) {
+		t.Error("Fits reports space on a full host")
+	}
+}
+
+func TestOvercommit(t *testing.T) {
+	sim := simtime.New()
+	h := New(sim, Config{
+		ID: 0, Cap: 128 * units.GiB, Reserved: 4 * units.GiB,
+		Overcommit: 1.5, Profile: power.DefaultProfile(),
+	})
+	if h.Usable() != units.Bytes(float64(124*units.GiB)*1.5) {
+		t.Fatalf("Usable with overcommit = %v", h.Usable())
+	}
+}
+
+func TestPartialFootprintAndRecharge(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Consolidation)
+	v := &vm.VM{ID: 2, Alloc: 4 * units.GiB, WorkingSet: 100 * units.MiB, Partial: true}
+	if err := h.AddVM(v); err != nil {
+		t.Fatal(err)
+	}
+	used := h.Used()
+	if used != vm.ChunkRound(100*units.MiB) {
+		t.Fatalf("partial VM charged %v", used)
+	}
+	// Working set grows; recharge accounts the delta.
+	old := v.Footprint()
+	v.WorkingSet = 200 * units.MiB
+	if err := h.Recharge(v.ID, old); err != nil {
+		t.Fatal(err)
+	}
+	if h.Used() != vm.ChunkRound(200*units.MiB) {
+		t.Fatalf("after recharge: used=%v", h.Used())
+	}
+	if err := h.Recharge(77, 0); err == nil {
+		t.Error("recharge of absent VM accepted")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	sim := simtime.New()
+	h := New(sim, Config{ID: 0, Cap: 8 * units.GiB, Reserved: 0, Profile: power.DefaultProfile()})
+	v := &vm.VM{ID: 1, Alloc: 16 * units.GiB, WorkingSet: 4 * units.GiB, Partial: true}
+	if err := h.AddVM(v); err != nil {
+		t.Fatal(err)
+	}
+	if h.Exhausted() {
+		t.Fatal("host exhausted prematurely")
+	}
+	old := v.Footprint()
+	v.WorkingSet = 9 * units.GiB
+	if err := h.Recharge(v.ID, old); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Exhausted() {
+		t.Fatal("growth past capacity not detected")
+	}
+}
+
+func TestSuspendResumeCycle(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	var sleptAt, wokeAt simtime.Time
+	if err := h.Suspend(func() { sleptAt = sim.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if h.State() != power.Suspending || !h.InTransit() {
+		t.Fatalf("state after Suspend = %v", h.State())
+	}
+	sim.Run()
+	if !h.Sleeping() {
+		t.Fatalf("state after transition = %v", h.State())
+	}
+	if sleptAt != simtime.Time(power.DefaultProfile().SuspendTime) {
+		t.Fatalf("slept at %v", sleptAt)
+	}
+	h.Wake(func() { wokeAt = sim.Now() })
+	if h.State() != power.Resuming {
+		t.Fatalf("state after Wake = %v", h.State())
+	}
+	sim.Run()
+	if !h.Powered() {
+		t.Fatalf("state after resume = %v", h.State())
+	}
+	want := sleptAt.Add(power.DefaultProfile().ResumeTime)
+	if wokeAt != want {
+		t.Fatalf("woke at %v, want %v", wokeAt, want)
+	}
+	if h.Suspends != 1 || h.Resumes != 1 {
+		t.Fatalf("transition counters = %d/%d", h.Suspends, h.Resumes)
+	}
+}
+
+func TestSuspendRefusals(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	if err := h.AddVM(&vm.VM{ID: 1, Alloc: units.GiB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Suspend(nil); err == nil {
+		t.Fatal("suspend with resident VMs accepted")
+	}
+	if err := h.RemoveVM(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Suspend(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Suspend(nil); err == nil {
+		t.Fatal("double suspend accepted")
+	}
+}
+
+func TestWakeWhilePowered(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	ran := false
+	h.Wake(func() { ran = true })
+	if !ran {
+		t.Fatal("wake on powered host did not run callback immediately")
+	}
+}
+
+func TestWakeDuringSuspendQueues(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	if err := h.Suspend(nil); err != nil {
+		t.Fatal(err)
+	}
+	var wokeAt simtime.Time
+	h.Wake(func() { wokeAt = sim.Now() })
+	sim.Run()
+	if !h.Powered() {
+		t.Fatalf("final state = %v", h.State())
+	}
+	p := power.DefaultProfile()
+	want := simtime.Time(p.SuspendTime + p.ResumeTime)
+	if wokeAt != want {
+		t.Fatalf("woke at %v, want %v (suspend completes, then resume)", wokeAt, want)
+	}
+}
+
+func TestAddVMWhileAsleepFails(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	if err := h.Suspend(nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if err := h.AddVM(&vm.VM{ID: 5, Alloc: units.GiB}); err == nil {
+		t.Fatal("placement on sleeping host accepted")
+	}
+}
+
+func TestMemServerPower(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	h.SetMemServer(true)
+	if !h.MemServerOn() {
+		t.Fatal("memory server not on")
+	}
+	sim.RunUntil(simtime.Hour)
+	j := h.Meter().MemServerJoules(sim.Now())
+	want := 42.2 * 3600
+	if j < want-1 || j > want+1 {
+		t.Fatalf("memserver joules = %v, want %v", j, want)
+	}
+	h.SetMemServer(true) // idempotent
+}
+
+func TestActivePowerTracking(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	v := &vm.VM{ID: 1, Alloc: 4 * units.GiB, Active: true}
+	if err := h.AddVM(v); err != nil {
+		t.Fatal(err)
+	}
+	if h.ActiveVMs() != 1 {
+		t.Fatal("active VM not counted")
+	}
+	v.Active = false
+	h.NoteVMStateChanged()
+	if h.ActiveVMs() != 0 {
+		t.Fatal("state change not tracked")
+	}
+}
+
+func TestWakeDuringResumeQueuesCallback(t *testing.T) {
+	sim := simtime.New()
+	h := newTestHost(sim, 0, Compute)
+	if err := h.Suspend(nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	// First wake starts the resume; a second wake during Resuming must
+	// queue its callback for the same completion.
+	var first, second simtime.Time
+	h.Wake(func() { first = sim.Now() })
+	if h.State() != power.Resuming {
+		t.Fatalf("state = %v", h.State())
+	}
+	h.Wake(func() { second = sim.Now() })
+	sim.Run()
+	if !h.Powered() {
+		t.Fatalf("state = %v", h.State())
+	}
+	if first != second || first == 0 {
+		t.Fatalf("callbacks fired at %v and %v, want same instant", first, second)
+	}
+	if h.Resumes != 1 {
+		t.Fatalf("Resumes = %d, want 1 (no double resume)", h.Resumes)
+	}
+}
+
+func TestRolesAndStrings(t *testing.T) {
+	if Compute.String() != "compute" || Consolidation.String() != "consolidation" {
+		t.Error("Role.String broken")
+	}
+	sim := simtime.New()
+	h := newTestHost(sim, 3, Consolidation)
+	s := h.String()
+	if s == "" {
+		t.Error("empty host string")
+	}
+	ce := &ErrCapacity{Host: 3, Need: units.GiB, Free: units.MiB}
+	if ce.Error() == "" {
+		t.Error("empty capacity error")
+	}
+}

@@ -1,0 +1,239 @@
+package hypervisor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// Pager retrieves missing pages for a partial VM. In the prototype this is
+// the per-VM memtap user process fetching from the memory server; tests
+// may supply an in-process implementation.
+type Pager interface {
+	FetchPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error)
+}
+
+// PagerFunc adapts a function to the Pager interface.
+type PagerFunc func(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error)
+
+// FetchPage calls f.
+func (f PagerFunc) FetchPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
+	return f(id, pfn)
+}
+
+// PartialVM is a VM created from a descriptor with most of its memory
+// absent. Page accesses to absent pages fault; the fault handler allocates
+// frames at 2 MiB chunk granularity (§4.2) and asks the Pager for the
+// page's contents. Writes dirty local pages, which reintegration later
+// pushes back to the owner. PartialVM is safe for concurrent use.
+type PartialVM struct {
+	desc  *Descriptor
+	pager Pager
+
+	mu      sync.Mutex
+	mem     *pagestore.Image
+	present []uint64 // bitmap over guest pages
+	chunks  map[int64]struct{}
+
+	// written tracks pages the guest modified locally — the dirty state
+	// reintegration must push home. Pages merely faulted in stay clean:
+	// the home's copy already matches them.
+	written map[pagestore.PFN]struct{}
+
+	faults       int64
+	fetchedBytes units.Bytes
+}
+
+// NewPartialVM creates a partial VM from a descriptor. Only the page-table
+// frames are considered present initially (their contents travel with the
+// descriptor); every other access will fault through the pager.
+func NewPartialVM(desc *Descriptor, pager Pager) (*PartialVM, error) {
+	if pager == nil {
+		return nil, fmt.Errorf("hypervisor: partial VM %04d needs a pager", desc.VMID)
+	}
+	npages := desc.Alloc.Pages()
+	vm := &PartialVM{
+		desc:    desc,
+		pager:   pager,
+		mem:     pagestore.NewImage(desc.Alloc),
+		present: make([]uint64, (npages+63)/64),
+		chunks:  make(map[int64]struct{}),
+		written: make(map[pagestore.PFN]struct{}),
+	}
+	// Page-table frames arrive with the descriptor.
+	for i := int64(0); i < desc.PageTablePages && i < npages; i++ {
+		vm.markPresent(pagestore.PFN(i))
+	}
+	return vm, nil
+}
+
+// Desc returns the VM's descriptor.
+func (vm *PartialVM) Desc() *Descriptor { return vm.desc }
+
+// Image exposes the VM's local memory image (for reintegration encoding).
+func (vm *PartialVM) Image() *pagestore.Image { return vm.mem }
+
+func (vm *PartialVM) isPresent(pfn pagestore.PFN) bool {
+	return vm.present[pfn/64]&(1<<(pfn%64)) != 0
+}
+
+func (vm *PartialVM) markPresent(pfn pagestore.PFN) {
+	vm.present[pfn/64] |= 1 << (pfn % 64)
+	chunk := int64(pfn) * int64(units.PageSize) / int64(units.ChunkSize)
+	vm.chunks[chunk] = struct{}{}
+}
+
+// Touch emulates a guest read access to a page. If the page is absent, it
+// faults: a frame is allocated and the pager supplies the contents. It
+// reports whether a fault occurred.
+func (vm *PartialVM) Touch(pfn pagestore.PFN) (faulted bool, err error) {
+	if int64(pfn) >= vm.desc.Alloc.Pages() {
+		return false, fmt.Errorf("hypervisor: vm %04d: pfn %d out of range", vm.desc.VMID, pfn)
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.isPresent(pfn) {
+		return false, nil
+	}
+	page, err := vm.pager.FetchPage(vm.desc.VMID, pfn)
+	if err != nil {
+		return true, fmt.Errorf("hypervisor: vm %04d: fetch pfn %d: %w", vm.desc.VMID, pfn, err)
+	}
+	if err := vm.mem.Write(pfn, page); err != nil {
+		return true, err
+	}
+	vm.markPresent(pfn)
+	vm.faults++
+	vm.fetchedBytes += units.PageSize
+	return true, nil
+}
+
+// Write emulates a guest write access: the page becomes present without a
+// fetch when the guest overwrites it entirely (newly allocated memory,
+// recycled buffers) — the optimisation that lets reintegration skip pages
+// that were completely overwritten (§4.4.3). Partial overwrites of absent
+// pages must fetch first; callers model that by calling Touch beforehand.
+func (vm *PartialVM) Write(pfn pagestore.PFN, data []byte) error {
+	if int64(pfn) >= vm.desc.Alloc.Pages() {
+		return fmt.Errorf("hypervisor: vm %04d: pfn %d out of range", vm.desc.VMID, pfn)
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if err := vm.mem.Write(pfn, data); err != nil {
+		return err
+	}
+	vm.markPresent(pfn)
+	vm.written[pfn] = struct{}{}
+	return nil
+}
+
+// Install stores a page fetched from the memory server without marking it
+// dirty: its contents match the home's copy, so reintegration need not
+// push it. Prefetchers use this to stream in absent pages.
+func (vm *PartialVM) Install(pfn pagestore.PFN, data []byte) error {
+	if int64(pfn) >= vm.desc.Alloc.Pages() {
+		return fmt.Errorf("hypervisor: vm %04d: pfn %d out of range", vm.desc.VMID, pfn)
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.isPresent(pfn) {
+		return nil // raced with a fault or a guest write; keep newer state
+	}
+	if err := vm.mem.Write(pfn, data); err != nil {
+		return err
+	}
+	vm.markPresent(pfn)
+	return nil
+}
+
+// AbsentPages returns up to max absent PFNs in ascending order (all of
+// them if max <= 0) — the work list for a prefetcher converting the
+// partial VM to a full one (§4.4.4).
+func (vm *PartialVM) AbsentPages(max int) []pagestore.PFN {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	var out []pagestore.PFN
+	npages := vm.desc.Alloc.Pages()
+	for pfn := pagestore.PFN(0); int64(pfn) < npages; pfn++ {
+		if !vm.isPresent(pfn) {
+			out = append(out, pfn)
+			if max > 0 && len(out) >= max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Read returns a page's contents, faulting it in if absent.
+func (vm *PartialVM) Read(pfn pagestore.PFN) ([]byte, error) {
+	if _, err := vm.Touch(pfn); err != nil {
+		return nil, err
+	}
+	return vm.mem.Read(pfn)
+}
+
+// Faults returns the number of page faults serviced so far.
+func (vm *PartialVM) Faults() int64 {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.faults
+}
+
+// FetchedBytes returns the total bytes fetched on demand.
+func (vm *PartialVM) FetchedBytes() units.Bytes {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.fetchedBytes
+}
+
+// PresentPages counts pages currently present.
+func (vm *PartialVM) PresentPages() int64 {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	var n int64
+	for _, w := range vm.present {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ChunksAllocated returns how many 2 MiB chunks back the present pages —
+// the VM's real memory footprint on the consolidation host.
+func (vm *PartialVM) ChunksAllocated() int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return len(vm.chunks)
+}
+
+// FootprintBytes returns the chunk-granular memory the partial VM pins on
+// its host.
+func (vm *PartialVM) FootprintBytes() units.Bytes {
+	return units.Bytes(vm.ChunksAllocated()) * units.ChunkSize
+}
+
+// DirtyPages returns the PFNs the guest wrote locally, sorted.
+func (vm *PartialVM) DirtyPages() []pagestore.PFN {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	out := make([]pagestore.PFN, 0, len(vm.written))
+	for pfn := range vm.written {
+		out = append(out, pfn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtySnapshot encodes the pages the guest wrote locally — the state
+// reintegration pushes back to the owner. Pages that were only faulted in
+// are excluded: the home's DRAM copy already holds them (§4.2).
+func (vm *PartialVM) DirtySnapshot() (data []byte, pages int, err error) {
+	pfns := vm.DirtyPages()
+	data, err = pagestore.EncodePages(vm.mem, pfns)
+	return data, len(pfns), err
+}

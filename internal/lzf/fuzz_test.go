@@ -1,0 +1,49 @@
+package lzf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress hammers the decoder with arbitrary token streams: it
+// must never panic or read out of bounds, only return ErrCorrupt.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0x00, 0x41}, 1)
+	f.Add([]byte{0x05, 1, 2, 3, 4, 5, 6}, 6)
+	f.Add([]byte{0xe0, 0x01, 0x00}, 12)
+	f.Add(Compress(nil, bytes.Repeat([]byte("abc"), 100)), 300)
+	f.Fuzz(func(t *testing.T, data []byte, outLen int) {
+		if outLen < 0 || outLen > 1<<20 {
+			return
+		}
+		out, err := Decompress(nil, data, outLen)
+		if err == nil && len(out) != outLen {
+			t.Fatalf("no error but %d bytes instead of %d", len(out), outLen)
+		}
+	})
+}
+
+// FuzzRoundTrip asserts compress→decompress is the identity for any
+// input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello hello hello"))
+	f.Add(bytes.Repeat([]byte{0}, 4096))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) > 1<<20 {
+			return
+		}
+		comp := Compress(nil, in)
+		if len(comp) > CompressBound(len(in)) {
+			t.Fatalf("compressed %d bytes beyond bound %d", len(comp), CompressBound(len(in)))
+		}
+		out, err := Decompress(nil, comp, len(in))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

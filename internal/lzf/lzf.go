@@ -1,0 +1,187 @@
+// Package lzf implements a fast byte-oriented LZ77 compressor in the
+// spirit of the real-time compressors (LZO1X, LZF) the Oasis prototype
+// uses for per-page compression before memory images are written to the
+// memory server (§4.3 "Memory upload optimizations").
+//
+// The format is self-contained and simple:
+//
+//	control byte c:
+//	  c < 0x20        literal run of c+1 bytes follows
+//	  c >= 0x20       back-reference; run length = (c >> 5) + 2, except
+//	                  that a raw length of 7 (c >> 5 == 7) means an extra
+//	                  length byte follows (+ its value); the low 5 bits of
+//	                  c are the high bits of the offset and one more byte
+//	                  supplies the low bits; distance = offset + 1
+//
+// This matches the classic LZF encoding, which trades ratio for speed —
+// appropriate for compressing 4 KiB pages on the migration path where CPU
+// time competes with SAS bandwidth.
+package lzf
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	hashLog  = 13
+	hashSize = 1 << hashLog
+	maxOff   = 1 << 13 // 8 KiB window
+	maxRef   = (1 << 8) + (1 << 3)
+	maxLit   = 1 << 5
+)
+
+// ErrCorrupt is returned when Decompress encounters an impossible token
+// stream (truncated input, reference before start of output, or output
+// size mismatch).
+var ErrCorrupt = errors.New("lzf: corrupt compressed data")
+
+func hash(h uint32) uint32 {
+	return ((h >> (3*8 - hashLog)) - h*5) & (hashSize - 1)
+}
+
+func first(in []byte, i int) uint32 {
+	return uint32(in[i])<<8 | uint32(in[i+1])
+}
+
+func next(v uint32, in []byte, i int) uint32 {
+	return v<<8 | uint32(in[i+2])
+}
+
+// CompressBound returns the maximum compressed size for an input of n
+// bytes (worst case: incompressible data costs one control byte per 32
+// literals, plus one byte of slack).
+func CompressBound(n int) int {
+	return n + n/32 + 2
+}
+
+// Compress appends the compressed form of in to dst and returns the
+// extended slice. Compressing empty input yields an empty output.
+func Compress(dst, in []byte) []byte {
+	n := len(in)
+	if n == 0 {
+		return dst
+	}
+	if n < 4 {
+		// Too short to find matches; emit as one literal run.
+		dst = append(dst, byte(n-1))
+		return append(dst, in...)
+	}
+
+	var htab [hashSize]int
+	for i := range htab {
+		htab[i] = -1
+	}
+
+	ip := 0
+	lit := 0   // number of pending literals
+	litAt := 0 // start of pending literal run
+
+	flushLit := func() {
+		for lit > 0 {
+			run := lit
+			if run > maxLit {
+				run = maxLit
+			}
+			dst = append(dst, byte(run-1))
+			dst = append(dst, in[litAt:litAt+run]...)
+			litAt += run
+			lit -= run
+		}
+	}
+
+	hval := first(in, ip)
+	for ip < n-2 {
+		hval = next(hval, in, ip)
+		hslot := hash(hval)
+		ref := htab[hslot]
+		htab[hslot] = ip
+
+		off := ip - ref - 1
+		if ref >= 0 && off < maxOff &&
+			in[ref] == in[ip] && in[ref+1] == in[ip+1] && in[ref+2] == in[ip+2] {
+			// Found a match of at least 3 bytes.
+			length := 3
+			maxLen := n - ip
+			if maxLen > maxRef {
+				maxLen = maxRef
+			}
+			for length < maxLen && in[ref+length] == in[ip+length] {
+				length++
+			}
+			flushLit()
+
+			l := length - 2 // encoded length
+			if l < 7 {
+				dst = append(dst, byte((off>>8)+(l<<5)), byte(off))
+			} else {
+				dst = append(dst, byte((off>>8)+(7<<5)), byte(l-7), byte(off))
+			}
+
+			ip += length
+			litAt = ip
+			if ip >= n-2 {
+				break
+			}
+			// Re-seed the hash chain over the skipped region's tail so
+			// future matches can anchor near the end of this one.
+			hval = first(in, ip)
+			continue
+		}
+		ip++
+		lit++
+	}
+	// Everything from the pending run start to the end is literals.
+	lit = n - litAt
+	flushLit()
+	return dst
+}
+
+// Decompress appends the decompressed form of in to dst and returns the
+// extended slice. outLen is the expected decompressed size; a mismatch or
+// malformed stream returns ErrCorrupt.
+func Decompress(dst, in []byte, outLen int) ([]byte, error) {
+	base := len(dst)
+	ip := 0
+	n := len(in)
+	for ip < n {
+		ctrl := int(in[ip])
+		ip++
+		if ctrl < 0x20 {
+			// Literal run of ctrl+1 bytes.
+			run := ctrl + 1
+			if ip+run > n {
+				return dst, ErrCorrupt
+			}
+			dst = append(dst, in[ip:ip+run]...)
+			ip += run
+			continue
+		}
+		// Back reference.
+		length := ctrl >> 5
+		if length == 7 {
+			if ip >= n {
+				return dst, ErrCorrupt
+			}
+			length += int(in[ip])
+			ip++
+		}
+		length += 2
+		if ip >= n {
+			return dst, ErrCorrupt
+		}
+		off := (ctrl&0x1f)<<8 | int(in[ip])
+		ip++
+		ref := len(dst) - off - 1
+		if ref < base {
+			return dst, ErrCorrupt
+		}
+		for i := 0; i < length; i++ {
+			dst = append(dst, dst[ref+i])
+		}
+	}
+	if len(dst)-base != outLen {
+		return dst, fmt.Errorf("%w: got %d bytes, want %d", ErrCorrupt, len(dst)-base, outLen)
+	}
+	return dst, nil
+}

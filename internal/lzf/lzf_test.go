@@ -1,0 +1,169 @@
+package lzf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"oasis/internal/rng"
+)
+
+func roundTrip(t *testing.T, in []byte) []byte {
+	t.Helper()
+	comp := Compress(nil, in)
+	out, err := Decompress(nil, comp, len(in))
+	if err != nil {
+		t.Fatalf("Decompress(%d bytes): %v", len(in), err)
+	}
+	if !bytes.Equal(out, in) {
+		t.Fatalf("round trip mismatch: in %d bytes, out %d bytes", len(in), len(out))
+	}
+	return comp
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	comp := Compress(nil, nil)
+	if len(comp) != 0 {
+		t.Fatalf("empty input compressed to %d bytes, want 0", len(comp))
+	}
+	out, err := Decompress(nil, comp, 0)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty decompress = %d bytes, err %v", len(out), err)
+	}
+}
+
+func TestRoundTripShort(t *testing.T) {
+	for _, s := range []string{"a", "ab", "abc", "abcd", "aaaa", "abab"} {
+		roundTrip(t, []byte(s))
+	}
+}
+
+func TestRoundTripZeros(t *testing.T) {
+	in := make([]byte, 4096)
+	comp := roundTrip(t, in)
+	if len(comp) >= len(in)/8 {
+		t.Errorf("zero page compressed to %d bytes, want < %d", len(comp), len(in)/8)
+	}
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	in := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 100)
+	comp := roundTrip(t, in)
+	if len(comp) >= len(in)/2 {
+		t.Errorf("repetitive text compressed to %d bytes of %d, want < half", len(comp), len(in))
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	r := rng.New(42)
+	for _, n := range []int{5, 64, 4096, 65536} {
+		in := make([]byte, n)
+		for i := range in {
+			in[i] = byte(r.Uint64())
+		}
+		comp := roundTrip(t, in)
+		if len(comp) > CompressBound(n) {
+			t.Errorf("n=%d: compressed size %d exceeds bound %d", n, len(comp), CompressBound(n))
+		}
+	}
+}
+
+func TestRoundTripStructured(t *testing.T) {
+	// Emulate page contents: mostly zeros with scattered words, like real
+	// guest memory.
+	r := rng.New(7)
+	in := make([]byte, 4096)
+	for i := 0; i < 40; i++ {
+		off := r.Intn(len(in) - 8)
+		for j := 0; j < 8; j++ {
+			in[off+j] = byte(r.Uint64())
+		}
+	}
+	comp := roundTrip(t, in)
+	if len(comp) >= len(in) {
+		t.Errorf("sparse page did not compress: %d >= %d", len(comp), len(in))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{0x05},             // literal run longer than input
+		{0xff},             // match with no offset byte
+		{0xe0},             // extended length with nothing following
+		{0x20, 0x10},       // back-reference before start of output
+		{0x00, 0x41, 0xff}, // trailing garbage control wanting more bytes
+	}
+	for i, c := range cases {
+		if _, err := Decompress(nil, c, 100); err == nil {
+			t.Errorf("case %d: corrupt input decompressed without error", i)
+		}
+	}
+}
+
+func TestDecompressWrongLength(t *testing.T) {
+	comp := Compress(nil, []byte("hello world hello world"))
+	if _, err := Decompress(nil, comp, 5); err == nil {
+		t.Error("wrong outLen accepted")
+	}
+}
+
+func TestAppendSemantics(t *testing.T) {
+	prefix := []byte("prefix")
+	comp := Compress(append([]byte(nil), prefix...), []byte("data data data data"))
+	if !bytes.HasPrefix(comp, prefix) {
+		t.Fatal("Compress did not append to dst")
+	}
+	out, err := Decompress(append([]byte(nil), prefix...), comp[len(prefix):], 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) || string(out[len(prefix):]) != "data data data data" {
+		t.Fatalf("Decompress append semantics broken: %q", out)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(in []byte) bool {
+		comp := Compress(nil, in)
+		out, err := Decompress(nil, comp, len(in))
+		return err == nil && bytes.Equal(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompressPage(b *testing.B) {
+	r := rng.New(3)
+	page := make([]byte, 4096)
+	for i := 0; i < 64; i++ {
+		off := r.Intn(len(page) - 16)
+		for j := 0; j < 16; j++ {
+			page[off+j] = byte(r.Uint64())
+		}
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(nil, page)
+	}
+}
+
+func BenchmarkDecompressPage(b *testing.B) {
+	r := rng.New(3)
+	page := make([]byte, 4096)
+	for i := 0; i < 64; i++ {
+		off := r.Intn(len(page) - 16)
+		for j := 0; j < 16; j++ {
+			page[off+j] = byte(r.Uint64())
+		}
+	}
+	comp := Compress(nil, page)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(nil, comp, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

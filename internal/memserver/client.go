@@ -1,0 +1,209 @@
+package memserver
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// Client is a connection to a memory page server. It is what a memtap
+// process (or a host agent performing uploads) holds. Client serialises
+// requests: the protocol is strictly request/response per connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects and authenticates to the server at addr with the shared
+// secret.
+func Dial(addr string, secret []byte, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("memserver: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn}
+	if err := c.authenticate(secret); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) authenticate(secret []byte) error {
+	typ, nonce, err := readFrame(c.conn)
+	if err != nil {
+		return fmt.Errorf("memserver: read challenge: %w", err)
+	}
+	if typ != msgChallenge {
+		return errors.New("memserver: expected challenge")
+	}
+	h := hmac.New(sha256.New, secret)
+	h.Write(nonce)
+	if err := writeFrame(c.conn, msgAuth, h.Sum(nil)); err != nil {
+		return err
+	}
+	typ, payload, err := readFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if typ == msgError {
+		return remoteError(payload)
+	}
+	if typ != msgOK {
+		return errors.New("memserver: unexpected auth reply")
+	}
+	return nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends a request frame and returns the reply payload, mapping
+// msgError replies to errors.
+func (c *Client) roundTrip(typ byte, payload []byte, wantReply byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, typ, payload); err != nil {
+		return nil, err
+	}
+	rtyp, rpayload, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if rtyp == msgError {
+		return nil, remoteError(rpayload)
+	}
+	if rtyp != wantReply {
+		return nil, fmt.Errorf("memserver: unexpected reply type %d", rtyp)
+	}
+	return rpayload, nil
+}
+
+// GetPage fetches one guest page, decompressing it. The returned slice
+// must not be modified if the page was all zero (a shared buffer).
+func (c *Client) GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
+	req := make([]byte, 12)
+	binary.BigEndian.PutUint32(req, uint32(id))
+	binary.BigEndian.PutUint64(req[4:], uint64(pfn))
+	reply, err := c.roundTrip(msgGetPage, req, msgPage)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply) < 2 {
+		return nil, errors.New("memserver: short page reply")
+	}
+	token := binary.BigEndian.Uint16(reply)
+	return pagestore.DecodePage(token, reply[2:])
+}
+
+// GetPages fetches a batch of guest pages in one round trip, for
+// prefetchers converting a partial VM into a full one (§4.4.4). The
+// result maps each requested PFN to its decompressed contents; all-zero
+// pages share one buffer that must not be modified.
+func (c *Client) GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestore.PFN][]byte, error) {
+	if len(pfns) == 0 {
+		return map[pagestore.PFN][]byte{}, nil
+	}
+	req := make([]byte, 8, 8+8*len(pfns))
+	binary.BigEndian.PutUint32(req, uint32(id))
+	binary.BigEndian.PutUint32(req[4:], uint32(len(pfns)))
+	for _, pfn := range pfns {
+		req = binary.BigEndian.AppendUint64(req, uint64(pfn))
+	}
+	reply, err := c.roundTrip(msgGetPages, req, msgPages)
+	if err != nil {
+		return nil, err
+	}
+	if len(reply) < 4 {
+		return nil, errors.New("memserver: short batch reply")
+	}
+	n := int(binary.BigEndian.Uint32(reply))
+	out := make(map[pagestore.PFN][]byte, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		if off+10 > len(reply) {
+			return nil, errors.New("memserver: truncated batch reply")
+		}
+		pfn := pagestore.PFN(binary.BigEndian.Uint64(reply[off:]))
+		token := binary.BigEndian.Uint16(reply[off+8:])
+		off += 10
+		bodyLen := pagestore.PageBodyLen(token)
+		if off+bodyLen > len(reply) {
+			return nil, errors.New("memserver: truncated batch page")
+		}
+		page, err := pagestore.DecodePage(token, reply[off:off+bodyLen])
+		if err != nil {
+			return nil, err
+		}
+		out[pfn] = page
+		off += bodyLen
+	}
+	return out, nil
+}
+
+// PutImage uploads a full snapshot as a VM's image, replacing any prior
+// image for that VMID.
+func (c *Client) PutImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte) error {
+	req := make([]byte, 12, 12+len(snapshot))
+	binary.BigEndian.PutUint32(req, uint32(id))
+	binary.BigEndian.PutUint64(req[4:], uint64(alloc))
+	req = append(req, snapshot...)
+	_, err := c.roundTrip(msgPutImage, req, msgOK)
+	return err
+}
+
+// PutDiff applies a differential snapshot to an existing image (§4.3
+// differential upload).
+func (c *Client) PutDiff(id pagestore.VMID, snapshot []byte) error {
+	req := make([]byte, 4, 4+len(snapshot))
+	binary.BigEndian.PutUint32(req, uint32(id))
+	req = append(req, snapshot...)
+	_, err := c.roundTrip(msgPutDiff, req, msgOK)
+	return err
+}
+
+// Delete frees a VM's image (after full migration the source agent frees
+// all resources, including memory-server state, §4.2).
+func (c *Client) Delete(id pagestore.VMID) error {
+	req := make([]byte, 4)
+	binary.BigEndian.PutUint32(req, uint32(id))
+	_, err := c.roundTrip(msgDeleteVM, req, msgOK)
+	return err
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats() (Stats, error) {
+	reply, err := c.roundTrip(msgStats, nil, msgStatsReply)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := json.Unmarshal(reply, &st); err != nil {
+		return Stats{}, fmt.Errorf("memserver: decode stats: %w", err)
+	}
+	return st, nil
+}
+
+// SetServing toggles whether the daemon serves pages. The host agent stops
+// the daemon when the host wakes and its VMs return (§4.3).
+func (c *Client) SetServing(on bool) error {
+	b := byte(0)
+	if on {
+		b = 1
+	}
+	_, err := c.roundTrip(msgSetServing, []byte{b}, msgOK)
+	return err
+}

@@ -1,0 +1,78 @@
+// Package memserver implements the low-power memory page server (§4.3) as
+// a real TCP daemon plus client. The host uploads its partial VMs' memory
+// images (compressed, optionally differential) before suspending; the
+// daemon then services page requests by guest pseudo-frame number while
+// the host sleeps. A shared secret authenticates clients with an
+// HMAC-SHA256 challenge/response, standing in for the TLS deployment the
+// paper prescribes for production (§4.3 "Security").
+package memserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message types.
+const (
+	msgChallenge  byte = iota + 1 // server→client: 16-byte nonce
+	msgAuth                       // client→server: 32-byte HMAC
+	msgOK                         // generic success
+	msgError                      // payload: error string
+	msgGetPage                    // u32 vmid | u64 pfn
+	msgPage                       // u16 token | payload (pagestore page encoding)
+	msgPutImage                   // u32 vmid | u64 alloc bytes | snapshot
+	msgPutDiff                    // u32 vmid | snapshot
+	msgDeleteVM                   // u32 vmid
+	msgStats                      // -> msgStatsReply
+	msgStatsReply                 // JSON payload
+	msgSetServing                 // u8 bool: daemon actively serving (host asleep)
+	msgGetPages                   // u32 vmid | u32 n | n x u64 pfn (batch fetch)
+	msgPages                      // u32 n | n x (u64 pfn | u16 token | payload)
+)
+
+// maxFrame bounds a single protocol frame. Uploads stream whole snapshots,
+// which for a consolidating host can reach hundreds of MiB; 1 GiB is a
+// generous ceiling that still rejects corrupt lengths.
+const maxFrame = 1 << 30
+
+// maxBatchPages bounds one GetPages batch (prefetchers chunk their work).
+const maxBatchPages = 4096
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, enforcing the size ceiling.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("memserver: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// remoteError is an error reported by the peer.
+type remoteError string
+
+func (e remoteError) Error() string { return "memserver: remote: " + string(e) }

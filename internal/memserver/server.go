@@ -1,0 +1,358 @@
+package memserver
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// Stats describes a server's activity, returned by the Stats request.
+type Stats struct {
+	VMs           int         `json:"vms"`
+	PagesServed   int64       `json:"pages_served"`
+	BytesServed   units.Bytes `json:"bytes_served"`
+	PagesUploaded int64       `json:"pages_uploaded"`
+	Serving       bool        `json:"serving"`
+}
+
+// Server is a memory page server daemon. One runs per host in an Oasis
+// cluster; it owns the images the host wrote out before suspending.
+type Server struct {
+	secret []byte
+	store  *pagestore.Store
+	logf   func(format string, args ...any)
+
+	// persistDir, when set, mirrors images to disk (see persist.go).
+	persistDir string
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	serving       atomic.Bool
+	pagesServed   atomic.Int64
+	bytesServed   atomic.Int64
+	pagesUploaded atomic.Int64
+}
+
+// NewServer creates a server that authenticates clients with the shared
+// secret. logf may be nil to disable logging.
+func NewServer(secret []byte, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{
+		secret: append([]byte(nil), secret...),
+		store:  pagestore.NewStore(),
+		logf:   logf,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.serving.Store(true)
+	return s
+}
+
+// Store exposes the underlying image store (hosts preload images through
+// it when co-located, as the prototype's SAS path does).
+func (s *Server) Store() *pagestore.Store { return s.store }
+
+// InstallImage installs a full snapshot as a VM's image through the
+// host-local (SAS) path, bypassing the network but keeping the upload
+// counters accurate.
+func (s *Server) InstallImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte) error {
+	im := pagestore.NewImage(alloc)
+	if err := pagestore.ApplySnapshot(im, snapshot); err != nil {
+		return err
+	}
+	s.store.Put(id, im)
+	s.pagesUploaded.Add(im.TouchedPages())
+	return s.persist(id)
+}
+
+// ApplyDiff applies a differential snapshot to an existing image through
+// the host-local path.
+func (s *Server) ApplyDiff(id pagestore.VMID, snapshot []byte) error {
+	im, err := s.store.Get(id)
+	if err != nil {
+		return err
+	}
+	var n int64
+	if err := pagestore.DecodeSnapshot(snapshot, func(pfn pagestore.PFN, page []byte) error {
+		n++
+		if page == nil {
+			return im.Write(pfn, nil)
+		}
+		return im.Write(pfn, page)
+	}); err != nil {
+		return err
+	}
+	s.pagesUploaded.Add(n)
+	return s.persist(id)
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("memserver: listen: %w", err)
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// Snapshot of current statistics.
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		VMs:           s.store.Len(),
+		PagesServed:   s.pagesServed.Load(),
+		BytesServed:   units.Bytes(s.bytesServed.Load()),
+		PagesUploaded: s.pagesUploaded.Load(),
+		Serving:       s.serving.Load(),
+	}
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.logf("memserver: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.dropConn(conn)
+	if err := s.authenticate(conn); err != nil {
+		s.logf("memserver: auth failure from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken connection; client is gone
+		}
+		if err := s.handle(conn, typ, payload); err != nil {
+			s.logf("memserver: conn %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) authenticate(conn net.Conn) error {
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return err
+	}
+	if err := writeFrame(conn, msgChallenge, nonce[:]); err != nil {
+		return err
+	}
+	typ, mac, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != msgAuth {
+		return errors.New("expected auth frame")
+	}
+	h := hmac.New(sha256.New, s.secret)
+	h.Write(nonce[:])
+	want := h.Sum(nil)
+	if subtle.ConstantTimeCompare(mac, want) != 1 {
+		writeFrame(conn, msgError, []byte("authentication failed"))
+		return errors.New("bad mac")
+	}
+	return writeFrame(conn, msgOK, nil)
+}
+
+func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
+	fail := func(err error) error {
+		return writeFrame(conn, msgError, []byte(err.Error()))
+	}
+	switch typ {
+	case msgGetPage:
+		if !s.serving.Load() {
+			return fail(errors.New("daemon not serving (host awake)"))
+		}
+		if len(payload) != 12 {
+			return fail(errors.New("malformed GetPage"))
+		}
+		vmid := pagestore.VMID(binary.BigEndian.Uint32(payload))
+		pfn := pagestore.PFN(binary.BigEndian.Uint64(payload[4:]))
+		im, err := s.store.Get(vmid)
+		if err != nil {
+			return fail(err)
+		}
+		page, err := im.Read(pfn)
+		if err != nil {
+			return fail(err)
+		}
+		token, body := pagestore.EncodePage(page)
+		out := make([]byte, 2, 2+len(body))
+		binary.BigEndian.PutUint16(out, token)
+		out = append(out, body...)
+		s.pagesServed.Add(1)
+		s.bytesServed.Add(int64(len(out)))
+		return writeFrame(conn, msgPage, out)
+
+	case msgGetPages:
+		if !s.serving.Load() {
+			return fail(errors.New("daemon not serving (host awake)"))
+		}
+		if len(payload) < 8 {
+			return fail(errors.New("malformed GetPages"))
+		}
+		vmid := pagestore.VMID(binary.BigEndian.Uint32(payload))
+		n := int(binary.BigEndian.Uint32(payload[4:]))
+		if len(payload) != 8+8*n || n > maxBatchPages {
+			return fail(fmt.Errorf("malformed GetPages batch of %d", n))
+		}
+		im, err := s.store.Get(vmid)
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]byte, 4, 4+n*64)
+		binary.BigEndian.PutUint32(out, uint32(n))
+		for i := 0; i < n; i++ {
+			pfn := pagestore.PFN(binary.BigEndian.Uint64(payload[8+8*i:]))
+			page, err := im.Read(pfn)
+			if err != nil {
+				return fail(err)
+			}
+			token, body := pagestore.EncodePage(page)
+			out = binary.BigEndian.AppendUint64(out, uint64(pfn))
+			out = binary.BigEndian.AppendUint16(out, token)
+			out = append(out, body...)
+		}
+		s.pagesServed.Add(int64(n))
+		s.bytesServed.Add(int64(len(out)))
+		return writeFrame(conn, msgPages, out)
+
+	case msgPutImage:
+		if len(payload) < 12 {
+			return fail(errors.New("malformed PutImage"))
+		}
+		vmid := pagestore.VMID(binary.BigEndian.Uint32(payload))
+		alloc := units.Bytes(binary.BigEndian.Uint64(payload[4:]))
+		im := pagestore.NewImage(alloc)
+		if err := pagestore.ApplySnapshot(im, payload[12:]); err != nil {
+			return fail(err)
+		}
+		s.store.Put(vmid, im)
+		s.pagesUploaded.Add(im.TouchedPages())
+		if err := s.persist(vmid); err != nil {
+			return fail(err)
+		}
+		return writeFrame(conn, msgOK, nil)
+
+	case msgPutDiff:
+		if len(payload) < 4 {
+			return fail(errors.New("malformed PutDiff"))
+		}
+		vmid := pagestore.VMID(binary.BigEndian.Uint32(payload))
+		im, err := s.store.Get(vmid)
+		if err != nil {
+			return fail(err)
+		}
+		before := im.TouchedPages()
+		if err := pagestore.ApplySnapshot(im, payload[4:]); err != nil {
+			return fail(err)
+		}
+		s.pagesUploaded.Add(im.TouchedPages() - before)
+		if err := s.persist(vmid); err != nil {
+			return fail(err)
+		}
+		return writeFrame(conn, msgOK, nil)
+
+	case msgDeleteVM:
+		if len(payload) != 4 {
+			return fail(errors.New("malformed DeleteVM"))
+		}
+		id := pagestore.VMID(binary.BigEndian.Uint32(payload))
+		s.store.Delete(id)
+		s.unpersist(id)
+		return writeFrame(conn, msgOK, nil)
+
+	case msgStats:
+		data, err := json.Marshal(s.StatsSnapshot())
+		if err != nil {
+			return fail(err)
+		}
+		return writeFrame(conn, msgStatsReply, data)
+
+	case msgSetServing:
+		if len(payload) != 1 {
+			return fail(errors.New("malformed SetServing"))
+		}
+		s.serving.Store(payload[0] != 0)
+		return writeFrame(conn, msgOK, nil)
+
+	default:
+		return fail(fmt.Errorf("unknown message type %d", typ))
+	}
+}
+
+// ListenAndServe runs a server on addr until it fails; a convenience for
+// the memserverd command.
+func ListenAndServe(addr string, secret []byte) error {
+	s := NewServer(secret, log.Printf)
+	bound, err := s.Listen(addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("memserver: serving on %v", bound)
+	select {} // the accept loop owns the lifecycle; block forever
+}

@@ -1,0 +1,94 @@
+package memserver
+
+import (
+	"bytes"
+	"crypto/x509"
+	"testing"
+	"time"
+
+	"oasis/internal/units"
+)
+
+func TestTLSUploadAndFetch(t *testing.T) {
+	cert, pool, err := GenerateCert([]string{"127.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(testSecret, t.Logf)
+	addr, err := s.ListenTLS("127.0.0.1:0", cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := DialTLS(addr.String(), testSecret, pool, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	src, snap := makeSnapshot(t, 4*units.MiB, 17, 30)
+	if err := c.PutImage(55, 4*units.MiB, snap); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := src.Read(7)
+	got, err := c.GetPage(55, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page mismatch over TLS")
+	}
+}
+
+func TestTLSRejectsUntrustedServer(t *testing.T) {
+	cert, _, err := GenerateCert([]string{"127.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(testSecret, t.Logf)
+	addr, err := s.ListenTLS("127.0.0.1:0", cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A client with an empty root pool must refuse the connection: this
+	// is the §4.3 server-authenticity property.
+	if _, err := DialTLS(addr.String(), testSecret, x509.NewCertPool(), 2*time.Second); err == nil {
+		t.Fatal("untrusted server certificate accepted")
+	}
+}
+
+func TestTLSStillRequiresSecret(t *testing.T) {
+	cert, pool, err := GenerateCert([]string{"127.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(testSecret, t.Logf)
+	addr, err := s.ListenTLS("127.0.0.1:0", cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Transport security does not replace client authentication: the
+	// HMAC challenge still runs inside the session.
+	if _, err := DialTLS(addr.String(), []byte("wrong"), pool, 2*time.Second); err == nil {
+		t.Fatal("bad shared secret accepted over TLS")
+	}
+}
+
+func TestGenerateCertHosts(t *testing.T) {
+	cert, _, err := GenerateCert([]string{"127.0.0.1", "memserver.rack1.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := cert.Leaf
+	if len(leaf.IPAddresses) != 1 || len(leaf.DNSNames) != 1 {
+		t.Fatalf("SANs = %v / %v", leaf.IPAddresses, leaf.DNSNames)
+	}
+	if time.Until(leaf.NotAfter) < 300*24*time.Hour {
+		t.Error("certificate validity too short")
+	}
+}

@@ -1,0 +1,128 @@
+// Package memtap implements the per-partial-VM pager process (§4.2): it
+// receives page-fault notifications from the hypervisor and services them
+// by fetching pages from the memory server that holds the VM's image,
+// decompressing them, and installing the frames.
+//
+// In the Xen prototype memtap is a dom0 user process wired to the
+// hypervisor through an event channel; here it is an object that satisfies
+// hypervisor.Pager over a real memserver TCP connection.
+package memtap
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oasis/internal/hypervisor"
+	"oasis/internal/memserver"
+	"oasis/internal/metrics"
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// Memtap services page faults for one partial VM from one memory server.
+// It is safe for concurrent use.
+type Memtap struct {
+	vmid   pagestore.VMID
+	client *memserver.Client
+
+	mu      sync.Mutex
+	faults  int64
+	bytes   units.Bytes
+	latency metrics.Sample
+}
+
+// New creates a memtap for the given VM, dialing the memory server at
+// addr with the shared secret. The agent configures each memtap with the
+// host and port of the memory server containing the VM's pages (§4.2).
+func New(vmid pagestore.VMID, addr string, secret []byte) (*Memtap, error) {
+	client, err := memserver.Dial(addr, secret, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("memtap: vm %04d: %w", vmid, err)
+	}
+	return &Memtap{vmid: vmid, client: client}, nil
+}
+
+// NewWithClient wraps an existing client (used by tests and by agents that
+// pool connections).
+func NewWithClient(vmid pagestore.VMID, client *memserver.Client) *Memtap {
+	return &Memtap{vmid: vmid, client: client}
+}
+
+// FetchPage implements hypervisor.Pager.
+func (m *Memtap) FetchPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
+	if id != m.vmid {
+		return nil, fmt.Errorf("memtap: configured for vm %04d, asked for %04d", m.vmid, id)
+	}
+	start := time.Now()
+	page, err := m.client.GetPage(id, pfn)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.faults++
+	m.bytes += units.PageSize
+	m.latency.Add(time.Since(start).Seconds())
+	m.mu.Unlock()
+	return page, nil
+}
+
+// Faults returns the number of faults serviced.
+func (m *Memtap) Faults() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.faults
+}
+
+// FetchedBytes returns the uncompressed bytes installed.
+func (m *Memtap) FetchedBytes() units.Bytes {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// MeanLatency returns the mean fault-service latency.
+func (m *Memtap) MeanLatency() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return time.Duration(m.latency.Mean() * float64(time.Second))
+}
+
+// Close releases the connection to the memory server.
+func (m *Memtap) Close() error { return m.client.Close() }
+
+// PrefetchRemaining streams every absent page of the partial VM from the
+// memory server in batches, converting it into a full VM (§4.4.4: when a
+// partial VM becomes active, bring the remaining pages over rather than
+// let the user suffer on-demand latency). Pages the guest faults or
+// writes concurrently are left untouched. It returns the number of pages
+// installed.
+func (m *Memtap) PrefetchRemaining(vm *hypervisor.PartialVM, batch int) (int, error) {
+	if batch <= 0 {
+		batch = 512
+	}
+	installed := 0
+	for {
+		pfns := vm.AbsentPages(batch)
+		if len(pfns) == 0 {
+			return installed, nil
+		}
+		pages, err := m.client.GetPages(m.vmid, pfns)
+		if err != nil {
+			return installed, fmt.Errorf("memtap: prefetch vm %04d: %w", m.vmid, err)
+		}
+		for _, pfn := range pfns {
+			page, ok := pages[pfn]
+			if !ok {
+				return installed, fmt.Errorf("memtap: prefetch vm %04d: server omitted pfn %d", m.vmid, pfn)
+			}
+			if err := vm.Install(pfn, page); err != nil {
+				return installed, err
+			}
+			installed++
+		}
+		m.mu.Lock()
+		m.bytes += units.Bytes(len(pfns)) * units.PageSize
+		m.mu.Unlock()
+	}
+}

@@ -1,0 +1,203 @@
+package memtap
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"oasis/internal/hypervisor"
+	"oasis/internal/memserver"
+	"oasis/internal/migration"
+	"oasis/internal/pagestore"
+	"oasis/internal/rng"
+	"oasis/internal/units"
+	"oasis/internal/vm"
+	"oasis/internal/workload"
+)
+
+var secret = []byte("memtap-test")
+
+// startBackend brings up a real memory server preloaded with a VM image
+// and returns its address plus the source image for verification.
+func startBackend(t *testing.T, vmid pagestore.VMID, alloc units.Bytes) (string, *pagestore.Image) {
+	t.Helper()
+	srv := memserver.NewServer(secret, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	r := rng.New(uint64(vmid))
+	im := pagestore.NewImage(alloc)
+	for pfn := pagestore.PFN(0); int64(pfn) < im.NumPages(); pfn++ {
+		p := bytes.Repeat([]byte{byte(pfn%250 + 1)}, int(units.PageSize))
+		p[0] = byte(r.Uint64()) // make pages distinct-ish
+		if err := im.Write(pfn, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Store().Put(vmid, im)
+	return addr.String(), im
+}
+
+func TestMemtapServicesFaults(t *testing.T) {
+	addr, src := startBackend(t, 1234, 4*units.MiB)
+	mt, err := New(1234, addr, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+
+	desc := hypervisor.NewDescriptor(1234, "t", 4*units.MiB, 1)
+	vm, err := hypervisor.NewPartialVM(desc, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfn := pagestore.PFN(desc.PageTablePages + 3)
+	got, err := vm.Read(pfn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := src.Read(pfn)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fetched page does not match the memory-server image")
+	}
+	if mt.Faults() != 1 {
+		t.Fatalf("Faults = %d, want 1", mt.Faults())
+	}
+	if mt.FetchedBytes() != units.PageSize {
+		t.Fatalf("FetchedBytes = %v", mt.FetchedBytes())
+	}
+	if mt.MeanLatency() <= 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestMemtapRejectsWrongVM(t *testing.T) {
+	addr, _ := startBackend(t, 7, 1*units.MiB)
+	mt, err := New(7, addr, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	if _, err := mt.FetchPage(8, 0); err == nil {
+		t.Error("memtap served a VM it is not configured for")
+	}
+}
+
+func TestMemtapDialFailure(t *testing.T) {
+	if _, err := New(1, "127.0.0.1:1", secret); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+}
+
+func TestPrefetchRemainingConvertsToFull(t *testing.T) {
+	addr, src := startBackend(t, 31, 2*units.MiB)
+	mt, err := New(31, addr, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	desc := hypervisor.NewDescriptor(31, "prefetch", 2*units.MiB, 1)
+	pvm, err := hypervisor.NewPartialVM(desc, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty one local page first; prefetch must not clobber it.
+	local := bytes.Repeat([]byte{0x99}, int(units.PageSize))
+	if err := pvm.Write(100, local); err != nil {
+		t.Fatal(err)
+	}
+	n, err := mt.PrefetchRemaining(pvm, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := desc.Alloc.Pages()
+	if pvm.PresentPages() != total {
+		t.Fatalf("present %d of %d pages after prefetch", pvm.PresentPages(), total)
+	}
+	if int64(n) != total-desc.PageTablePages-1 {
+		t.Fatalf("installed %d pages, want %d", n, total-desc.PageTablePages-1)
+	}
+	// No faults were needed, and contents match the image.
+	if mt.Faults() != 0 {
+		t.Fatalf("prefetch caused %d faults", mt.Faults())
+	}
+	for _, pfn := range []pagestore.PFN{10, 200, pagestore.PFN(total - 1)} {
+		if pfn == 100 {
+			continue
+		}
+		want, _ := src.Read(pfn)
+		got, err := pvm.Read(pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pfn %d mismatch after prefetch", pfn)
+		}
+	}
+	// The locally written page survived and is the only dirty one.
+	got, _ := pvm.Read(100)
+	if !bytes.Equal(got, local) {
+		t.Fatal("prefetch clobbered a locally written page")
+	}
+	if pages := pvm.DirtyPages(); len(pages) != 1 || pages[0] != 100 {
+		t.Fatalf("dirty pages = %v, want [100]", pages)
+	}
+}
+
+// TestWorkloadDrivenFaulting drives a real partial VM with the calibrated
+// idle access process (Figure 1's model) and checks that the bytes
+// fetched over the wire match what the analytic model predicts: the two
+// layers of the reproduction — functional and modelled — agree.
+func TestWorkloadDrivenFaulting(t *testing.T) {
+	alloc := 8 * units.MiB
+	addr, _ := startBackend(t, 77, alloc)
+	mt, err := New(77, addr, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	desc := hypervisor.NewDescriptor(77, "wl", alloc, 1)
+	pvm, err := hypervisor.NewPartialVM(desc, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay 10 simulated minutes of desktop idle bursts, mapping each
+	// burst onto the guest address space. The VM is small, so accesses
+	// wrap and re-touch resident pages — exactly the working-set effect
+	// that bounds on-demand traffic.
+	proc := workload.NewAccessProcess(vm.Desktop, rng.New(9))
+	r := rng.New(10)
+	var elapsed time.Duration
+	touched := int64(0)
+	npages := alloc.Pages()
+	for elapsed < 10*time.Minute {
+		gap, pages := proc.NextBurst()
+		elapsed += gap
+		base := r.Int63n(npages)
+		for i := 0; i < pages; i++ {
+			pfn := pagestore.PFN((base + int64(i)) % npages)
+			if _, err := pvm.Touch(pfn); err != nil {
+				t.Fatal(err)
+			}
+			touched++
+		}
+	}
+	// Fetched bytes are bounded by the allocation (the working set here)
+	// and must be non-trivial.
+	fetched := mt.FetchedBytes()
+	if fetched <= 0 || fetched > alloc {
+		t.Fatalf("fetched %v for an %v VM", fetched, alloc)
+	}
+	// The model's prediction for the same episode: rate x time, capped
+	// by the working set (= the whole small VM).
+	model := migration.MicroBenchModel()
+	predicted := model.OnDemandFetch(migration.DesktopRate, alloc, elapsed)
+	ratio := float64(fetched) / float64(predicted)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("functional fetch %v vs model %v (ratio %.2f)", fetched, predicted, ratio)
+	}
+}

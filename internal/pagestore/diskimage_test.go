@@ -1,0 +1,141 @@
+package pagestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oasis/internal/rng"
+	"oasis/internal/units"
+)
+
+func buildDiskImage(t *testing.T) (*Image, string) {
+	t.Helper()
+	r := rng.New(31)
+	im := NewImage(16 * units.MiB)
+	for i := 0; i < 200; i++ {
+		pfn := PFN(r.Intn(int(im.NumPages())))
+		if err := im.Write(pfn, fillPage(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Include an explicitly zeroed page (indexed, zero token).
+	if err := im.Write(7, fillPage(r)); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Write(7, make([]byte, units.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "vm.img")
+	if _, err := WriteImageFile(path, im); err != nil {
+		t.Fatal(err)
+	}
+	return im, path
+}
+
+func TestDiskImageRoundTrip(t *testing.T) {
+	im, path := buildDiskImage(t)
+	d, err := OpenImageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Alloc() != im.Alloc() {
+		t.Fatalf("alloc = %v, want %v", d.Alloc(), im.Alloc())
+	}
+	for _, pfn := range im.AllTouched() {
+		want, _ := im.Read(pfn)
+		got, err := d.ReadPage(pfn)
+		if err != nil {
+			t.Fatalf("ReadPage(%d): %v", pfn, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("page %d mismatch from disk", pfn)
+		}
+	}
+	// Untouched and explicitly-zeroed pages read as zeros.
+	for _, pfn := range []PFN{7, 4000} {
+		got, err := d.ReadPage(pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsZeroPage(got) {
+			t.Fatalf("page %d not zero from disk", pfn)
+		}
+	}
+	// Out of range is rejected.
+	if _, err := d.ReadPage(PFN(d.Alloc().Pages())); err == nil {
+		t.Error("out-of-range disk read accepted")
+	}
+}
+
+func TestDiskImageLoad(t *testing.T) {
+	im, path := buildDiskImage(t)
+	d, err := OpenImageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	loaded, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TouchedPages() != im.TouchedPages() {
+		t.Fatalf("loaded %d pages, want %d", loaded.TouchedPages(), im.TouchedPages())
+	}
+	for _, pfn := range im.AllTouched() {
+		a, _ := im.Read(pfn)
+		b, _ := loaded.Read(pfn)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("page %d differs after disk round trip", pfn)
+		}
+	}
+}
+
+func TestOpenImageFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not an image at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenImageFile(path); err == nil {
+		t.Error("garbage file opened as disk image")
+	}
+	if _, err := OpenImageFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file opened")
+	}
+}
+
+func TestDiskImageConcurrentReads(t *testing.T) {
+	im, path := buildDiskImage(t)
+	d, err := OpenImageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	pfns := im.AllTouched()
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 100; i++ {
+				pfn := pfns[(g*100+i)%len(pfns)]
+				want, _ := im.Read(pfn)
+				got, err := d.ReadPage(pfn)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !bytes.Equal(got, want) {
+					done <- os.ErrInvalid
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"oasis/internal/lzf"
+	"oasis/internal/units"
+)
+
+// Encoded snapshot format, used for memory-server uploads and for pushing
+// dirty state during reintegration:
+//
+//	header:  magic "OAPS" | u32 page count
+//	per page: u64 pfn | u16 token | payload
+//	  token 0xFFFF        zero page, no payload
+//	  token 0x8000|len    raw (incompressible) page of len bytes
+//	  token len           lzf-compressed payload of len bytes
+const (
+	snapMagic   = "OAPS"
+	tokenZero   = 0xFFFF
+	tokenRawBit = 0x8000
+)
+
+// EncodePages encodes the given pages of the image into a snapshot. Pages
+// that are all zero are encoded with a zero token. The returned byte count
+// is what travels over the SAS link or network.
+func EncodePages(im *Image, pfns []PFN) ([]byte, error) {
+	out := make([]byte, 0, len(pfns)*128)
+	out = append(out, snapMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(pfns)))
+	var comp []byte
+	for _, pfn := range pfns {
+		page, err := im.Read(pfn)
+		if err != nil {
+			return nil, err
+		}
+		out = binary.BigEndian.AppendUint64(out, uint64(pfn))
+		if isZero(page) {
+			out = binary.BigEndian.AppendUint16(out, tokenZero)
+			continue
+		}
+		comp = lzf.Compress(comp[:0], page)
+		if len(comp) >= int(units.PageSize) {
+			// Incompressible: store raw.
+			out = binary.BigEndian.AppendUint16(out, tokenRawBit|uint16(units.PageSize&0x7FFF))
+			out = append(out, page...)
+			continue
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(len(comp)))
+		out = append(out, comp...)
+	}
+	return out, nil
+}
+
+// EncodeDirtySince encodes the pages dirtied since epoch and returns the
+// snapshot together with the encoded page count.
+func EncodeDirtySince(im *Image, epoch uint64) ([]byte, int, error) {
+	pfns := im.DirtySince(epoch)
+	data, err := EncodePages(im, pfns)
+	return data, len(pfns), err
+}
+
+// EncodeAll encodes every touched page (a full upload).
+func EncodeAll(im *Image) ([]byte, int, error) {
+	pfns := im.AllTouched()
+	data, err := EncodePages(im, pfns)
+	return data, len(pfns), err
+}
+
+// DecodeSnapshot parses a snapshot, invoking apply for every page. Zero
+// pages are delivered as a nil slice so the receiver can elide storage.
+func DecodeSnapshot(data []byte, apply func(pfn PFN, page []byte) error) error {
+	if len(data) < 8 || string(data[:4]) != snapMagic {
+		return fmt.Errorf("pagestore: bad snapshot magic")
+	}
+	count := binary.BigEndian.Uint32(data[4:8])
+	off := 8
+	pageBuf := make([]byte, 0, units.PageSize)
+	for i := uint32(0); i < count; i++ {
+		if off+10 > len(data) {
+			return fmt.Errorf("pagestore: truncated snapshot at page %d/%d", i, count)
+		}
+		pfn := PFN(binary.BigEndian.Uint64(data[off:]))
+		token := binary.BigEndian.Uint16(data[off+8:])
+		off += 10
+		switch {
+		case token == tokenZero:
+			if err := apply(pfn, nil); err != nil {
+				return err
+			}
+		case token&tokenRawBit != 0:
+			n := int(token &^ tokenRawBit)
+			if off+n > len(data) {
+				return fmt.Errorf("pagestore: truncated raw page %d", pfn)
+			}
+			if err := apply(pfn, data[off:off+n]); err != nil {
+				return err
+			}
+			off += n
+		default:
+			n := int(token)
+			if off+n > len(data) {
+				return fmt.Errorf("pagestore: truncated compressed page %d", pfn)
+			}
+			var err error
+			pageBuf, err = lzf.Decompress(pageBuf[:0], data[off:off+n], int(units.PageSize))
+			if err != nil {
+				return fmt.Errorf("pagestore: page %d: %w", pfn, err)
+			}
+			if err := apply(pfn, pageBuf); err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("pagestore: %d trailing bytes in snapshot", len(data)-off)
+	}
+	return nil
+}
+
+// ApplySnapshot decodes a snapshot directly into an image.
+func ApplySnapshot(im *Image, data []byte) error {
+	return DecodeSnapshot(data, func(pfn PFN, page []byte) error {
+		if page == nil {
+			return im.Write(pfn, nil)
+		}
+		return im.Write(pfn, page)
+	})
+}
+
+// EncodePage compresses a single page for network transmission, returning
+// the token and payload in the same format snapshots use.
+func EncodePage(page []byte) (token uint16, payload []byte) {
+	if isZero(page) {
+		return tokenZero, nil
+	}
+	comp := lzf.Compress(nil, page)
+	if len(comp) >= int(units.PageSize) {
+		return tokenRawBit | uint16(units.PageSize&0x7FFF), page
+	}
+	return uint16(len(comp)), comp
+}
+
+// PageBodyLen returns the payload size implied by a page token, so wire
+// formats can frame page entries without their own length fields.
+func PageBodyLen(token uint16) int {
+	switch {
+	case token == tokenZero:
+		return 0
+	case token&tokenRawBit != 0:
+		return int(units.PageSize)
+	default:
+		return int(token)
+	}
+}
+
+// DecodePage reverses EncodePage. Zero-token pages return a shared
+// all-zero page; callers must not modify the result.
+func DecodePage(token uint16, payload []byte) ([]byte, error) {
+	switch {
+	case token == tokenZero:
+		return zeroPage, nil
+	case token&tokenRawBit != 0:
+		if len(payload) != int(units.PageSize) {
+			return nil, fmt.Errorf("pagestore: raw page payload %d bytes", len(payload))
+		}
+		return payload, nil
+	default:
+		out, err := lzf.Decompress(nil, payload, int(units.PageSize))
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}

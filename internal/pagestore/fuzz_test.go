@@ -1,0 +1,45 @@
+package pagestore
+
+import (
+	"testing"
+
+	"oasis/internal/units"
+)
+
+// FuzzDecodeSnapshot feeds arbitrary bytes to the snapshot parser: it
+// must reject garbage gracefully, never panic, and never call apply with
+// an oversized page.
+func FuzzDecodeSnapshot(f *testing.F) {
+	im := NewImage(1 * units.MiB)
+	if err := im.Write(3, []byte{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	good, _, err := EncodeAll(im)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte("OAPS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = DecodeSnapshot(data, func(pfn PFN, page []byte) error {
+			if len(page) > int(units.PageSize) {
+				t.Fatalf("oversized page delivered: %d bytes", len(page))
+			}
+			return nil
+		})
+	})
+}
+
+// FuzzDecodePage checks the single-page decoder against arbitrary tokens
+// and payloads.
+func FuzzDecodePage(f *testing.F) {
+	f.Add(uint16(0xFFFF), []byte{})
+	f.Add(uint16(5), []byte{1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, token uint16, payload []byte) {
+		page, err := DecodePage(token, payload)
+		if err == nil && len(page) != int(units.PageSize) {
+			t.Fatalf("decoded page of %d bytes", len(page))
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package pagestore
+
+import (
+	"fmt"
+	"sync"
+
+	"oasis/internal/units"
+)
+
+// Store is a set of VM images keyed by VMID — the state a memory server
+// holds on its shared drive for the partial VMs of its host. Store is safe
+// for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	images map[VMID]*Image
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{images: make(map[VMID]*Image)}
+}
+
+// Create adds an empty image for a VM. It fails if the VM already exists.
+func (s *Store) Create(id VMID, alloc units.Bytes) (*Image, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.images[id]; ok {
+		return nil, fmt.Errorf("pagestore: vm %04d already exists", id)
+	}
+	im := NewImage(alloc)
+	s.images[id] = im
+	return im, nil
+}
+
+// Get returns the image for a VM, or an error if unknown.
+func (s *Store) Get(id VMID) (*Image, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	im, ok := s.images[id]
+	if !ok {
+		return nil, fmt.Errorf("pagestore: unknown vm %04d", id)
+	}
+	return im, nil
+}
+
+// Put installs (or replaces) an image for a VM.
+func (s *Store) Put(id VMID, im *Image) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.images[id] = im
+}
+
+// Delete removes a VM's image, releasing its memory. Deleting an unknown
+// VM is a no-op: the caller is expressing "make sure it is gone".
+func (s *Store) Delete(id VMID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.images, id)
+}
+
+// IDs returns the VMIDs present in the store.
+func (s *Store) IDs() []VMID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]VMID, 0, len(s.images))
+	for id := range s.images {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Len returns the number of images held.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.images)
+}
+
+// TotalTouched returns the total resident bytes across all images.
+func (s *Store) TotalTouched() units.Bytes {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total units.Bytes
+	for _, im := range s.images {
+		total += im.TouchedBytes()
+	}
+	return total
+}

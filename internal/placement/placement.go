@@ -1,0 +1,123 @@
+// Package placement provides destination-selection strategies for the
+// consolidation planner. The paper uses random selection among
+// consolidation hosts with capacity (§3.1) and explicitly leaves
+// "more sophisticated placement algorithms" out of scope; this package
+// implements the classic bin-packing family so the choice can be studied
+// as an ablation (see BenchmarkAblationPlacement).
+package placement
+
+import (
+	"sort"
+
+	"oasis/internal/rng"
+	"oasis/internal/units"
+)
+
+// Candidate is one host the planner may target.
+type Candidate struct {
+	// ID identifies the host.
+	ID int
+	// Free is the host's remaining capacity after tentative assignments
+	// and headroom reservations.
+	Free units.Bytes
+}
+
+// Strategy picks a destination among candidates that all fit the
+// request. Implementations must be deterministic given the same
+// candidates and random stream.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Pick returns the chosen candidate ID. Candidates is non-empty and
+	// every entry already fits the request; Pick must not assume any
+	// ordering.
+	Pick(cands []Candidate, r *rng.Rand) int
+}
+
+func sortByFree(cands []Candidate) []Candidate {
+	out := append([]Candidate(nil), cands...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Free != out[j].Free {
+			return out[i].Free < out[j].Free
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Random picks uniformly among fitting hosts — the paper's §3.1
+// behaviour.
+type Random struct{}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Pick implements Strategy.
+func (Random) Pick(cands []Candidate, r *rng.Rand) int {
+	out := append([]Candidate(nil), cands...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out[r.Intn(len(out))].ID
+}
+
+// FirstFit picks the lowest-numbered fitting host.
+type FirstFit struct{}
+
+// Name implements Strategy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Pick implements Strategy.
+func (FirstFit) Pick(cands []Candidate, _ *rng.Rand) int {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.ID < best.ID {
+			best = c
+		}
+	}
+	return best.ID
+}
+
+// BestFit picks the fitting host with the least remaining space,
+// packing hosts tight so others can drain and sleep.
+type BestFit struct{}
+
+// Name implements Strategy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Pick implements Strategy.
+func (BestFit) Pick(cands []Candidate, _ *rng.Rand) int {
+	return sortByFree(cands)[0].ID
+}
+
+// WorstFit picks the fitting host with the most remaining space,
+// spreading load and preserving headroom everywhere.
+type WorstFit struct{}
+
+// Name implements Strategy.
+func (WorstFit) Name() string { return "worst-fit" }
+
+// Pick implements Strategy.
+func (WorstFit) Pick(cands []Candidate, _ *rng.Rand) int {
+	s := sortByFree(cands)
+	return s[len(s)-1].ID
+}
+
+// RandomBestK picks at random among the K tightest fitting hosts —
+// best-fit packing with enough randomness to avoid hot-spotting one host
+// during storms. K=2 is the cluster manager's default.
+type RandomBestK struct{ K int }
+
+// Name implements Strategy.
+func (s RandomBestK) Name() string { return "random-best-k" }
+
+// Pick implements Strategy.
+func (s RandomBestK) Pick(cands []Candidate, r *rng.Rand) int {
+	k := s.K
+	if k <= 0 {
+		k = 2
+	}
+	sorted := sortByFree(cands)
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[r.Intn(k)].ID
+}

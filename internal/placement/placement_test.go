@@ -1,0 +1,122 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oasis/internal/rng"
+	"oasis/internal/units"
+)
+
+func cands(frees ...int) []Candidate {
+	out := make([]Candidate, len(frees))
+	for i, f := range frees {
+		out[i] = Candidate{ID: i, Free: units.Bytes(f) * units.GiB}
+	}
+	return out
+}
+
+func TestFirstFit(t *testing.T) {
+	r := rng.New(1)
+	got := (FirstFit{}).Pick([]Candidate{{ID: 5, Free: 10}, {ID: 2, Free: 1}, {ID: 9, Free: 99}}, r)
+	if got != 2 {
+		t.Errorf("FirstFit picked %d, want 2", got)
+	}
+}
+
+func TestBestAndWorstFit(t *testing.T) {
+	r := rng.New(1)
+	c := cands(30, 5, 12)
+	if got := (BestFit{}).Pick(c, r); got != 1 {
+		t.Errorf("BestFit picked %d, want 1 (5 GiB free)", got)
+	}
+	if got := (WorstFit{}).Pick(c, r); got != 0 {
+		t.Errorf("WorstFit picked %d, want 0 (30 GiB free)", got)
+	}
+	// Ties break by ID for determinism.
+	tie := []Candidate{{ID: 7, Free: 5}, {ID: 3, Free: 5}}
+	if got := (BestFit{}).Pick(tie, r); got != 3 {
+		t.Errorf("BestFit tie picked %d, want 3", got)
+	}
+}
+
+func TestRandomCoversAllCandidates(t *testing.T) {
+	r := rng.New(2)
+	c := cands(1, 2, 3, 4)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[(Random{}).Pick(c, r)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("Random only ever picked %v", seen)
+	}
+}
+
+func TestRandomBestK(t *testing.T) {
+	r := rng.New(3)
+	c := cands(30, 5, 12, 50)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[(RandomBestK{K: 2}).Pick(c, r)] = true
+	}
+	// Only the two tightest (IDs 1 and 2) are eligible.
+	if len(seen) != 2 || !seen[1] || !seen[2] {
+		t.Errorf("RandomBestK picked %v, want {1,2}", seen)
+	}
+	// K <= 0 defaults to 2; K beyond the candidate count clamps.
+	if got := (RandomBestK{}).Pick(cands(7), r); got != 0 {
+		t.Errorf("singleton pick = %d", got)
+	}
+	if got := (RandomBestK{K: 99}).Pick(cands(7, 8), r); got != 0 && got != 1 {
+		t.Errorf("clamped pick = %d", got)
+	}
+}
+
+// TestQuickPickIsAlwaysACandidate: every strategy must return an ID that
+// was actually offered, for arbitrary candidate sets.
+func TestQuickPickIsAlwaysACandidate(t *testing.T) {
+	strategies := []Strategy{Random{}, FirstFit{}, BestFit{}, WorstFit{}, RandomBestK{K: 3}}
+	r := rng.New(4)
+	f := func(frees []uint32) bool {
+		if len(frees) == 0 {
+			return true
+		}
+		cs := make([]Candidate, len(frees))
+		ids := map[int]bool{}
+		for i, fr := range frees {
+			cs[i] = Candidate{ID: i * 3, Free: units.Bytes(fr)}
+			ids[i*3] = true
+		}
+		for _, s := range strategies {
+			if !ids[s.Pick(cs, r)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickDoesNotMutateInput(t *testing.T) {
+	r := rng.New(5)
+	c := cands(9, 1, 5)
+	orig := append([]Candidate(nil), c...)
+	for _, s := range []Strategy{Random{}, BestFit{}, WorstFit{}, RandomBestK{K: 2}} {
+		s.Pick(c, r)
+		for i := range c {
+			if c[i] != orig[i] {
+				t.Fatalf("%s mutated the candidate slice", s.Name())
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, s := range []Strategy{Random{}, FirstFit{}, BestFit{}, WorstFit{}, RandomBestK{}} {
+		if s.Name() == "" {
+			t.Error("empty strategy name")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(12346)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if New(12345).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("nearby seeds produce correlated streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(2)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 10; v++ {
+		if seen[v] < 700 || seen[v] > 1300 {
+			t.Errorf("Intn(10) value %d seen %d times in 10000", v, seen[v])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Errorf("Exp mean = %v, want ~5", mean)
+	}
+	if r.Exp(0) != 0 || r.Exp(-1) != 0 {
+		t.Error("non-positive mean must return 0")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(4)
+	n := 100000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Norm(10, 3)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(std-3) > 0.1 {
+		t.Errorf("Norm std = %v", std)
+	}
+}
+
+func TestTruncNormBounds(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		x := r.TruncNorm(165.63, 91.38, 16, 1024)
+		if x < 16 || x > 1024 {
+			t.Fatalf("TruncNorm out of bounds: %v", x)
+		}
+	}
+	// Degenerate bounds still terminate and clamp.
+	x := r.TruncNorm(0, 1, 100, 101)
+	if x < 100 || x > 101 {
+		t.Fatalf("degenerate TruncNorm = %v", x)
+	}
+}
+
+func TestPareto(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 1000; i++ {
+		if r.Pareto(2, 1.5) < 2 {
+			t.Fatal("Pareto below minimum")
+		}
+	}
+}
+
+func TestPermShuffle(t *testing.T) {
+	r := New(7)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm invalid at %d", v)
+		}
+		seen[v] = true
+	}
+	s := []int{1, 2, 3, 4, 5}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 15 {
+		t.Error("Shuffle lost elements")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(8)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("forked streams correlated")
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(9)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", frac)
+	}
+}

@@ -1,0 +1,250 @@
+// Package sim runs the trace-driven cluster-day simulations of §5: it
+// binds a synthetic activity trace to a configured Oasis cluster, ticks
+// the manager every five minutes for a simulated day, and reports the
+// energy, traffic, delay and consolidation measurements behind Figures
+// 7-12 and Table 3.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"oasis/internal/cluster"
+	"oasis/internal/metrics"
+	"oasis/internal/rng"
+	"oasis/internal/simtime"
+	"oasis/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Cluster cluster.Config
+	// Kind selects weekday or weekend user-days.
+	Kind trace.DayKind
+	// TraceSeed seeds the synthetic trace corpus and sampling. Distinct
+	// runs of a multi-run experiment vary this.
+	TraceSeed uint64
+	// CorpusUsers is the size of the synthetic corpus sampled from; the
+	// paper samples 900 user-days from a 22-user corpus. Zero defaults
+	// to 3x the VM count worth of generated user-days.
+	CorpusUsers int
+}
+
+// Result is one simulated day's outcome.
+type Result struct {
+	Policy    cluster.Policy
+	Kind      trace.DayKind
+	ConsHosts int
+
+	// Energy.
+	BaselineJoules float64
+	OasisJoules    float64
+	SavingsPct     float64
+
+	// Per-interval series (Figure 7).
+	ActiveSeries  []int
+	PoweredSeries []int
+	PeakActive    int
+
+	// Manager statistics (Figures 9-11 inputs).
+	Stats cluster.Stats
+
+	// Events is the manager's decision log, populated when
+	// Cluster.EventLogSize > 0.
+	Events []cluster.Event
+}
+
+// Run simulates one day.
+func Run(cfg Config) (*Result, error) {
+	s := simtime.New()
+	cl, err := cluster.New(s, cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	nVMs := len(cl.VMs)
+
+	// Build the trace: generate a corpus and sample one user-day per VM,
+	// mirroring §5.1's sample-900-user-days-and-align procedure.
+	tr := rng.New(cfg.TraceSeed ^ 0x6f617369) // "oasi"
+	corpusN := cfg.CorpusUsers
+	if corpusN <= 0 {
+		corpusN = 3 * nVMs
+	}
+	corpus := trace.Generate(cfg.Kind, corpusN, tr)
+	set := trace.Sample(corpus, nVMs, tr)
+
+	res := &Result{
+		Policy:    cfg.Cluster.Policy,
+		Kind:      cfg.Kind,
+		ConsHosts: cfg.Cluster.ConsHosts,
+	}
+
+	interval := time.Duration(trace.IntervalMinutes) * time.Minute
+	active := make([]bool, nVMs)
+	profile := cfg.Cluster.Profile
+	for iv := 0; iv < trace.IntervalsPerDay; iv++ {
+		t := simtime.Time(iv) * simtime.Time(interval)
+		s.RunUntil(t)
+		for i := range active {
+			active[i] = set.Days[i].Active[iv]
+		}
+		if err := cl.Tick(active); err != nil {
+			return nil, fmt.Errorf("sim: interval %d: %w", iv, err)
+		}
+		nActive := cl.ActiveVMs()
+		res.ActiveSeries = append(res.ActiveSeries, nActive)
+		res.PoweredSeries = append(res.PoweredSeries, cl.PoweredHosts())
+		if nActive > res.PeakActive {
+			res.PeakActive = nActive
+		}
+		// Baseline: all home hosts stay powered, running their VMs
+		// locally (§5.3's normalisation).
+		if profile.VMHostingW > 0 {
+			res.BaselineJoules += float64(cfg.Cluster.HomeHosts) * profile.VMHostingW * interval.Seconds()
+		} else {
+			res.BaselineJoules += (float64(cfg.Cluster.HomeHosts)*profile.IdleW +
+				float64(nActive)*profile.PerActiveVMW) * interval.Seconds()
+		}
+	}
+	s.RunUntil(simtime.Day)
+	cl.FlushEpisodes()
+
+	res.OasisJoules = cl.TotalEnergyJoules()
+	if res.BaselineJoules > 0 {
+		res.SavingsPct = (1 - res.OasisJoules/res.BaselineJoules) * 100
+	}
+	res.Stats = cl.Stats
+	res.Events = cl.Events()
+	return res, nil
+}
+
+// Summary aggregates repeated runs (the paper averages five).
+type Summary struct {
+	Policy    cluster.Policy
+	Kind      trace.DayKind
+	ConsHosts int
+	Savings   metrics.Welford
+	Runs      []*Result
+}
+
+// RunN simulates n days with different seeds and aggregates savings.
+func RunN(cfg Config, n int) (*Summary, error) {
+	sum := &Summary{Policy: cfg.Cluster.Policy, Kind: cfg.Kind, ConsHosts: cfg.Cluster.ConsHosts}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.TraceSeed = cfg.TraceSeed + uint64(i)*7919
+		c.Cluster.Seed = cfg.Cluster.Seed + uint64(i)*104729
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		sum.Savings.Add(r.SavingsPct)
+		sum.Runs = append(sum.Runs, r)
+	}
+	return sum, nil
+}
+
+// ContinuousResult is the outcome of a multi-day run where the cluster
+// carries its state (placements, working sets, host power states) from
+// one day into the next, rather than restarting cold.
+type ContinuousResult struct {
+	Days           []trace.DayKind
+	BaselineJoules float64
+	OasisJoules    float64
+	SavingsPct     float64
+	// DailySavings is the incremental savings of each day.
+	DailySavings []float64
+	Stats        cluster.Stats
+}
+
+// RunContinuous simulates the given sequence of days on one cluster
+// without resetting state between them — a working week is
+// []DayKind{Weekday x5, Weekend x2}. Each day samples a fresh set of
+// user-days. This is the long-run stability check: placements and
+// working-set bookkeeping must not drift or leak across days.
+func RunContinuous(cfg Config, days []trace.DayKind) (*ContinuousResult, error) {
+	s := simtime.New()
+	cl, err := cluster.New(s, cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	nVMs := len(cl.VMs)
+	tr := rng.New(cfg.TraceSeed ^ 0x7765656b) // "week"
+	corpusN := cfg.CorpusUsers
+	if corpusN <= 0 {
+		corpusN = 3 * nVMs
+	}
+
+	res := &ContinuousResult{Days: append([]trace.DayKind(nil), days...)}
+	interval := time.Duration(trace.IntervalMinutes) * time.Minute
+	active := make([]bool, nVMs)
+	profile := cfg.Cluster.Profile
+	prevOasis := 0.0
+	for d, kind := range days {
+		corpus := trace.Generate(kind, corpusN, tr)
+		set := trace.Sample(corpus, nVMs, tr)
+		dayBase := simtime.Time(d) * simtime.Day
+		dayBaselineJ := 0.0
+		for iv := 0; iv < trace.IntervalsPerDay; iv++ {
+			s.RunUntil(dayBase + simtime.Time(iv)*simtime.Time(interval))
+			for i := range active {
+				active[i] = set.Days[i].Active[iv]
+			}
+			if err := cl.Tick(active); err != nil {
+				return nil, fmt.Errorf("sim: day %d interval %d: %w", d, iv, err)
+			}
+			if profile.VMHostingW > 0 {
+				dayBaselineJ += float64(cfg.Cluster.HomeHosts) * profile.VMHostingW * interval.Seconds()
+			} else {
+				dayBaselineJ += (float64(cfg.Cluster.HomeHosts)*profile.IdleW +
+					float64(cl.ActiveVMs())*profile.PerActiveVMW) * interval.Seconds()
+			}
+		}
+		s.RunUntil(dayBase + simtime.Day)
+		res.BaselineJoules += dayBaselineJ
+		dayOasis := cl.TotalEnergyJoules() - prevOasis
+		prevOasis = cl.TotalEnergyJoules()
+		res.DailySavings = append(res.DailySavings, (1-dayOasis/dayBaselineJ)*100)
+	}
+	cl.FlushEpisodes()
+	res.OasisJoules = cl.TotalEnergyJoules()
+	if res.BaselineJoules > 0 {
+		res.SavingsPct = (1 - res.OasisJoules/res.BaselineJoules) * 100
+	}
+	res.Stats = cl.Stats
+	return res, nil
+}
+
+// WeekResult aggregates a working week: five weekdays and two weekend
+// days.
+type WeekResult struct {
+	Weekday *Summary
+	Weekend *Summary
+	// SavingsPct is the energy-weighted weekly savings. The baseline is
+	// identical for every day, so the 5:2 weighting of the per-day
+	// percentages is exact.
+	SavingsPct float64
+}
+
+// RunWeek simulates a full week: runsPerKind days of each kind are
+// averaged, then combined 5:2.
+func RunWeek(cfg Config, runsPerKind int) (*WeekResult, error) {
+	wd := cfg
+	wd.Kind = trace.Weekday
+	wdSum, err := RunN(wd, runsPerKind)
+	if err != nil {
+		return nil, err
+	}
+	we := cfg
+	we.Kind = trace.Weekend
+	we.TraceSeed = cfg.TraceSeed + 7777
+	weSum, err := RunN(we, runsPerKind)
+	if err != nil {
+		return nil, err
+	}
+	return &WeekResult{
+		Weekday:    wdSum,
+		Weekend:    weSum,
+		SavingsPct: (5*wdSum.Savings.Mean() + 2*weSum.Savings.Mean()) / 7,
+	}, nil
+}

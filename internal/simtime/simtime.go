@@ -1,0 +1,187 @@
+// Package simtime provides the discrete-event simulation core that drives
+// the Oasis cluster simulator: a virtual clock and an event queue with
+// deterministic ordering.
+//
+// All of §5's trace-driven evaluation runs on this engine. Events scheduled
+// for the same instant fire in scheduling order, so simulations are fully
+// reproducible for a fixed seed.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant on the simulation clock, expressed as an offset from
+// the start of the simulation.
+type Time time.Duration
+
+// Common simulation-time constants.
+const (
+	Second = Time(time.Second)
+	Minute = Time(time.Minute)
+	Hour   = Time(time.Hour)
+	Day    = 24 * Hour
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier instant u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Hours returns t expressed in hours.
+func (t Time) Hours() float64 { return time.Duration(t).Hours() }
+
+// Duration converts t to a time.Duration offset.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String renders the instant as hh:mm:ss within the simulation.
+func (t Time) String() string {
+	d := time.Duration(t)
+	h := int(d / time.Hour)
+	d -= time.Duration(h) * time.Hour
+	m := int(d / time.Minute)
+	d -= time.Duration(m) * time.Minute
+	s := d.Seconds()
+	return fmt.Sprintf("%02d:%02d:%06.3f", h, m, s)
+}
+
+// Event is a scheduled callback. Cancelling an event that already fired or
+// was already cancelled is a no-op.
+type Event struct {
+	at     Time
+	seq    uint64
+	name   string
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+}
+
+// Time returns the instant the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Name returns the descriptive label the event was scheduled with.
+func (e *Event) Name() string { return e.name }
+
+// Cancel removes the event from the queue. The callback will not run.
+func (e *Event) Cancel() { e.cancel = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and event queue. The zero value is not
+// usable; call New.
+type Simulator struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+
+	// Processed counts events that have fired, for diagnostics.
+	Processed uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	s := &Simulator{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending reports the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run at instant at. Scheduling in the past panics:
+// it always indicates a model bug, and silently clamping would hide it.
+func (s *Simulator) Schedule(at Time, name string, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: scheduling %q at %v before now %v", name, at, s.now))
+	}
+	e := &Event{at: at, seq: s.seq, name: name, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After queues fn to run d after the current instant.
+func (s *Simulator) After(d time.Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.Schedule(s.now.Add(d), name, fn)
+}
+
+// Step fires the next event, if any, advancing the clock to its instant.
+// It reports whether an event fired.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.Processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with instants <= end, then advances the clock to
+// end. Events scheduled beyond end remain queued.
+func (s *Simulator) RunUntil(end Time) {
+	for len(s.queue) > 0 {
+		// Peek at the head, skipping cancelled events.
+		e := s.queue[0]
+		if e.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.at > end {
+			break
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}

@@ -1,0 +1,140 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3*Second, "c", func() { order = append(order, 3) })
+	s.Schedule(1*Second, "a", func() { order = append(order, 1) })
+	s.Schedule(2*Second, "b", func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3*Second {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(Second, "e", func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	s := New()
+	var fired []Time
+	s.After(time.Second, "outer", func() {
+		fired = append(fired, s.Now())
+		s.After(2*time.Second, "inner", func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != Second || fired[1] != 3*Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.Schedule(Second, "x", func() { ran = true })
+	e.Cancel()
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	e.Cancel() // idempotent
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []int
+	s.Schedule(1*Second, "a", func() { fired = append(fired, 1) })
+	s.Schedule(5*Second, "b", func() { fired = append(fired, 5) })
+	s.RunUntil(3 * Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 3*Second {
+		t.Fatalf("clock = %v, want 3s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.RunUntil(10 * Second)
+	if len(fired) != 2 {
+		t.Fatal("remaining event did not fire")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(2*Second, "a", func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.Schedule(Second, "late", func() {})
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	s := New()
+	ran := false
+	s.After(-time.Second, "neg", func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("negative After did not run at now")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(90 * time.Minute)
+	if tm.Hours() != 1.5 || tm.Seconds() != 5400 {
+		t.Error("conversions broken")
+	}
+	if tm.Add(30*time.Minute) != 2*Hour {
+		t.Error("Add broken")
+	}
+	if (2 * Hour).Sub(tm) != 30*time.Minute {
+		t.Error("Sub broken")
+	}
+	if got := tm.String(); got != "01:30:00.000" {
+		t.Errorf("String = %q", got)
+	}
+	if Day != 24*Hour {
+		t.Error("Day constant wrong")
+	}
+}
+
+func TestCancelledHeadSkipsInRunUntil(t *testing.T) {
+	s := New()
+	e := s.Schedule(Second, "a", func() {})
+	ran := false
+	s.Schedule(2*Second, "b", func() { ran = true })
+	e.Cancel()
+	s.RunUntil(5 * Second)
+	if !ran {
+		t.Fatal("event after cancelled head did not run")
+	}
+	if s.Processed != 1 {
+		t.Fatalf("Processed = %d, want 1", s.Processed)
+	}
+}

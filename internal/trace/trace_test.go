@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oasis/internal/rng"
+)
+
+func TestGenerateWeekdayShape(t *testing.T) {
+	r := rng.New(42)
+	set := GenerateSet(Weekday, 900, r)
+	counts := set.ActiveCount()
+
+	peak, peakIv := set.PeakActive()
+	peakFrac := float64(peak) / 900
+	// Paper: never more than 411/900 = 46% simultaneously active.
+	if peakFrac < 0.30 || peakFrac > 0.52 {
+		t.Errorf("peak active fraction = %.2f, want ~0.4-0.46", peakFrac)
+	}
+	// Peak lands in the afternoon (intervals 120-204 = 10:00-17:00; the
+	// paper puts it around 2 pm).
+	if peakIv < 120 || peakIv > 216 {
+		t.Errorf("peak at interval %d (%.1f h), want afternoon", peakIv, float64(peakIv)/12)
+	}
+	// Trough in the early morning hours is near zero activity.
+	troughIdx, trough := 0, 1<<30
+	for i, c := range counts {
+		if c < trough {
+			trough, troughIdx = c, i
+		}
+	}
+	if float64(trough)/900 > 0.06 {
+		t.Errorf("trough active fraction = %.3f, want < 0.06", float64(trough)/900)
+	}
+	troughH := float64(troughIdx) / 12
+	if troughH > 9 && troughH < 22 {
+		t.Errorf("trough at %.1f h, want overnight", troughH)
+	}
+	// Afternoon activity exceeds 3 am activity several-fold.
+	if counts[14*12] < 5*counts[3*12]+1 {
+		t.Errorf("no diurnal contrast: 2pm=%d 3am=%d", counts[14*12], counts[3*12])
+	}
+}
+
+func TestFracAllIdle(t *testing.T) {
+	r := rng.New(7)
+	set := GenerateSet(Weekday, 900, r)
+	frac := set.FracAllIdle(30)
+	// Paper: ~13% of the time all 30 VMs of a home host are idle.
+	if frac < 0.07 || frac > 0.20 {
+		t.Errorf("FracAllIdle(30) = %.3f, want ~0.13", frac)
+	}
+	if set.FracAllIdle(0) != 0 {
+		t.Error("groupSize 0 must return 0")
+	}
+}
+
+func TestWeekendQuieter(t *testing.T) {
+	r := rng.New(9)
+	wd := GenerateSet(Weekday, 600, r.Fork())
+	we := GenerateSet(Weekend, 600, r.Fork())
+	wdTotal, weTotal := 0, 0
+	for i := range wd.Days {
+		wdTotal += wd.Days[i].ActiveIntervals()
+	}
+	for i := range we.Days {
+		weTotal += we.Days[i].ActiveIntervals()
+	}
+	if weTotal >= wdTotal*2/3 {
+		t.Errorf("weekend activity %d not clearly below weekday %d", weTotal, wdTotal)
+	}
+	wePeak, _ := we.PeakActive()
+	wdPeak, _ := wd.PeakActive()
+	if wePeak >= wdPeak {
+		t.Errorf("weekend peak %d >= weekday peak %d", wePeak, wdPeak)
+	}
+}
+
+func TestSerialisationRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	set := GenerateSet(Weekday, 50, r)
+	set.Days[10].Kind = Weekend // mixed kinds survive
+	var buf bytes.Buffer
+	if err := set.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Days) != len(set.Days) {
+		t.Fatalf("days = %d, want %d", len(got.Days), len(set.Days))
+	}
+	for i := range set.Days {
+		if got.Days[i] != set.Days[i] {
+			t.Fatalf("day %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"W 0101", // short line
+		"X " + strings.Repeat("0", IntervalsPerDay),  // bad kind
+		"W " + strings.Repeat("2", IntervalsPerDay),  // bad digit
+		"W" + strings.Repeat("0", IntervalsPerDay+1), // missing space
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c + "\n")); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Comments and blank lines are fine.
+	set, err := Read(strings.NewReader("# header\n\n"))
+	if err != nil || len(set.Days) != 0 {
+		t.Errorf("comment-only trace: %v, %d days", err, len(set.Days))
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := rng.New(5)
+	pool := Generate(Weekday, 22, r) // 22 users, like the paper's corpus
+	set := Sample(pool, 900, r)
+	if len(set.Days) != 900 {
+		t.Fatalf("sampled %d days", len(set.Days))
+	}
+	// Every sampled day must come from the pool.
+	inPool := func(d UserDay) bool {
+		for _, p := range pool {
+			if p == d {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 20; i++ {
+		if !inPool(set.Days[i]) {
+			t.Fatal("sampled day not from pool")
+		}
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	var d UserDay
+	d.Active[100] = true
+	if !d.ActiveAt(100*IntervalMinutes) || !d.ActiveAt(100*IntervalMinutes+4) {
+		t.Error("ActiveAt misses the marked interval")
+	}
+	if d.ActiveAt(99*IntervalMinutes) || d.ActiveAt(-5) || d.ActiveAt(25*60) {
+		t.Error("ActiveAt hits outside the marked interval")
+	}
+}
+
+func TestDayKindString(t *testing.T) {
+	if Weekday.String() != "weekday" || Weekend.String() != "weekend" {
+		t.Error("DayKind.String broken")
+	}
+}

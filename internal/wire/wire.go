@@ -1,0 +1,246 @@
+// Package wire is the small RPC layer the cluster manager and host agents
+// speak (§4.1: "It provides an RPC interface that clients use to create
+// and manage VMs"). Messages are length-prefixed JSON frames over TCP:
+// simple to debug, no external dependencies, and sufficient for control
+// traffic (bulk data rides the memory-server protocol instead).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds one control frame. Full-migration snapshots travel in
+// RPC payloads during host-to-host migration, so the ceiling is generous.
+const maxFrame = 1 << 30
+
+type request struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+type response struct {
+	ID     uint64          `json:"id"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func writeFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}
+
+// Handler serves one RPC method. Params arrive as raw JSON; the returned
+// value is marshalled as the result.
+type Handler func(params json.RawMessage) (any, error)
+
+// Server dispatches RPC requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	logf     func(string, ...any)
+}
+
+// NewServer returns an empty RPC server. logf may be nil.
+func NewServer(logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+		logf:     logf,
+	}
+}
+
+// Handle registers a handler for method.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen starts accepting connections on addr and returns the bound
+// address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.RLock()
+			closed := s.closed
+			s.mu.RUnlock()
+			if !closed {
+				s.logf("wire: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[req.Method]
+		s.mu.RUnlock()
+		resp := response{ID: req.ID}
+		if !ok {
+			resp.Error = fmt.Sprintf("unknown method %q", req.Method)
+		} else if result, err := h(req.Params); err != nil {
+			resp.Error = err.Error()
+		} else if result != nil {
+			data, err := json.Marshal(result)
+			if err != nil {
+				resp.Error = fmt.Sprintf("marshal result: %v", err)
+			} else {
+				resp.Result = data
+			}
+		}
+		if err := writeFrame(conn, &resp); err != nil {
+			s.logf("wire: write response: %v", err)
+			return
+		}
+	}
+}
+
+// Client is an RPC connection. Calls are serialised; it is safe for
+// concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	next uint64
+}
+
+// Dial connects to an RPC server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call invokes method with params, decoding the result into out (which
+// may be nil to discard it). Remote errors come back as *RemoteError.
+func (c *Client) Call(method string, params, out any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req := request{ID: c.next, Method: method}
+	if params != nil {
+		data, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("wire: marshal params: %w", err)
+		}
+		req.Params = data
+	}
+	if err := writeFrame(c.conn, &req); err != nil {
+		return err
+	}
+	var resp response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return err
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return &RemoteError{Method: method, Msg: resp.Error}
+	}
+	if out != nil && resp.Result != nil {
+		return json.Unmarshal(resp.Result, out)
+	}
+	return nil
+}
+
+// RemoteError is an error reported by the RPC peer.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return fmt.Sprintf("wire: %s: %s", e.Method, e.Msg) }

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type echoArgs struct {
+	Msg string `json:"msg"`
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer(t.Logf)
+	s.Handle("echo", func(params json.RawMessage) (any, error) {
+		var a echoArgs
+		if err := json.Unmarshal(params, &a); err != nil {
+			return nil, err
+		}
+		return a.Msg, nil
+	})
+	s.Handle("fail", func(json.RawMessage) (any, error) {
+		return nil, errors.New("intentional failure")
+	})
+	s.Handle("nilresult", func(json.RawMessage) (any, error) {
+		return nil, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr.String()
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out string
+	if err := c.Call("echo", echoArgs{Msg: "hello"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello" {
+		t.Fatalf("echo = %q", out)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Call("fail", nil, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	if re.Method != "fail" {
+		t.Fatalf("method = %q", re.Method)
+	}
+	// The connection survives remote errors.
+	var out string
+	if err := c.Call("echo", echoArgs{Msg: "still alive"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("nope", nil, nil); err == nil {
+		t.Fatal("unknown method succeeded")
+	}
+}
+
+func TestNilParamsAndResult(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call("nilresult", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := fmt.Sprintf("msg-%d", i)
+			var out string
+			if err := c.Call("echo", echoArgs{Msg: want}, &out); err != nil {
+				errs <- err
+				return
+			}
+			if out != want {
+				errs <- fmt.Errorf("got %q want %q", out, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	_, addr := startServer(t)
+	for i := 0; i < 5; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out string
+		if err := c.Call("echo", echoArgs{Msg: "x"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func TestServerCloseDropsClients(t *testing.T) {
+	s, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out string
+	if err := c.Call("echo", echoArgs{Msg: "x"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("echo", echoArgs{Msg: "y"}, &out); err == nil {
+		t.Fatal("call succeeded after server close")
+	}
+	// Closing twice is safe.
+	s.Close()
+}
