@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the full suite; the resilience and fault-injection
+# tests exercise real sockets and concurrent retry paths, so -race is the
+# mode that matters for them.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the CI gate: vet + race tests.
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -29,6 +29,7 @@ func main() {
 		vmid     = flag.Uint("vmid", 1234, "VM identifier")
 		seed     = flag.Uint64("seed", 1, "seed for synthetic page contents")
 		prefetch = flag.Bool("prefetch", false, "after touching, prefetch the remaining state (partial→full conversion, §4.4.4)")
+		retries  = flag.Int("retries", 8, "page-fetch attempts before the memtap reports the fault (riding out chaos downtime)")
 	)
 	flag.Parse()
 	if *secret == "" {
@@ -52,8 +53,21 @@ func main() {
 		}
 	}
 
-	// Upload the image (the host's pre-suspend upload, §4.3).
-	client, err := oasis.DialMemServer(*server, []byte(*secret), 5*time.Second)
+	// A generous breaker budget: this tool is a connectivity demo, so it
+	// should keep retrying through injected storms rather than declare
+	// the server down the way an agent's memtap would.
+	rcfg := func(jitter uint64) oasis.ResilienceConfig {
+		return oasis.ResilienceConfig{
+			MaxRetries:       *retries,
+			MutatingRetries:  *retries,
+			BreakerThreshold: 4 * *retries,
+			JitterSeed:       jitter,
+		}
+	}
+
+	// Upload the image (the host's pre-suspend upload, §4.3) over a
+	// resilient client: uploads are idempotent, so retries are safe.
+	client, err := oasis.DialMemServerResilient(*server, []byte(*secret), rcfg(*seed+1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,10 +86,11 @@ func main() {
 	// Create a partial VM from the descriptor and fault pages on demand
 	// through a real memtap.
 	desc := oasis.NewVMDescriptor(id, "memtapctl-demo", alloc, 1)
-	mt, err := oasis.NewMemtap(id, *server, []byte(*secret))
+	rc, err := oasis.DialMemServerResilient(*server, []byte(*secret), rcfg(*seed))
 	if err != nil {
 		log.Fatal(err)
 	}
+	mt := oasis.NewMemtapWithClient(id, rc)
 	defer mt.Close()
 	pvm, err := oasis.NewPartialVM(desc, mt)
 	if err != nil {
@@ -86,8 +101,12 @@ func main() {
 		nTouch = pages
 	}
 	start = time.Now()
+	// Page-table frames (pfn < PageTablePages) travel with the descriptor
+	// and read back as fresh frames, not guest data — verify only pageable
+	// memory.
+	ptPages := desc.PageTablePages
 	for i := int64(0); i < nTouch; i++ {
-		pfn := oasis.PFN(r.Int63n(pages))
+		pfn := oasis.PFN(ptPages + r.Int63n(pages-ptPages))
 		want, err := im.Read(pfn)
 		if err != nil {
 			log.Fatal(err)
@@ -136,4 +155,10 @@ func main() {
 	}
 	fmt.Printf("server stats: %d VMs, %d pages served (%v), %d pages uploaded\n",
 		stats.VMs, stats.PagesServed, stats.BytesServed, stats.PagesUploaded)
+
+	// The memtap's client is resilient by default: report what the fault
+	// path actually did (all zeros against a healthy server).
+	rs := mt.Resilience()
+	fmt.Printf("resilience: %d retries, %d reconnects, %d failures, %d breaker opens (breaker %v, degraded %v)\n",
+		rs.Retries, rs.Reconnects, rs.Failures, rs.BreakerOpens, rs.State, mt.Degraded())
 }

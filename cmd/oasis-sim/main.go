@@ -43,6 +43,7 @@ func main() {
 		runs   = flag.Int("runs", 1, "days to simulate and average")
 		series = flag.Bool("series", false, "print the hourly active/powered series")
 		events = flag.Int("events", 0, "record and print the last N manager decisions")
+		msMTBF = flag.Duration("ms-mtbf", 0, "inject memory-server outages with this mean time between failures per serving server (0 disables)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 	cfg.Cluster.Seed = *seed
 	cfg.TraceSeed = *seed
 	cfg.Cluster.EventLogSize = *events
+	cfg.Cluster.MemServerMTBF = *msMTBF
 	cfg.Kind = oasis.Weekday
 	if strings.ToLower(*kind) == "weekend" {
 		cfg.Kind = oasis.Weekend
@@ -87,6 +89,12 @@ func main() {
 		r.Stats.NetworkBytes(), r.Stats.FullBytes, r.Stats.DescriptorBytes,
 		r.Stats.OnDemandBytes, r.Stats.ReintegrateBytes)
 	fmt.Printf("  operations: %v\n", r.Stats.Ops)
+	if *msMTBF > 0 {
+		fmt.Printf("  fault injection: %d memory-server outages, %d degraded VMs force-promoted\n",
+			r.Stats.MemServerOutages, r.Stats.DegradedVMs)
+		fmt.Printf("  availability: %.5f (mean recovery %.1fs per degraded VM)\n",
+			r.Availability, r.Stats.OutageRecovery.Mean())
+	}
 	if *series {
 		fmt.Printf("%-6s %12s %14s\n", "hour", "active VMs", "powered hosts")
 		for h := 0; h < 24; h++ {

@@ -55,6 +55,11 @@ type managedVM struct {
 	// stop-and-copy phase, during which guest writes are refused.
 	migrating bool
 	paused    bool
+
+	// quarantined marks a degraded partial VM whose forced promotion
+	// home also failed: it is left resident but flagged so operators
+	// (and the cluster manager) can see it needs manual recovery.
+	quarantined bool
 }
 
 // stagedVM is an inbound live migration that has not switched over yet.
@@ -206,6 +211,16 @@ type receiveDirtyArgs struct {
 	Snapshot string         `json:"snapshot"`
 }
 
+// RecoverArgs requests forced promotion of a degraded partial VM back to
+// its owner (§4.4.4 degradation ladder). Dest is the owner's RPC
+// address; Force promotes even if the memtap does not currently report
+// the VM degraded (operator override).
+type RecoverArgs struct {
+	VMID  pagestore.VMID `json:"vmid"`
+	Dest  string         `json:"dest"`
+	Force bool           `json:"force,omitempty"`
+}
+
 // VMInfo describes a VM's residency on this agent.
 type VMInfo struct {
 	VMID    pagestore.VMID `json:"vmid"`
@@ -215,6 +230,15 @@ type VMInfo struct {
 	Away    bool           `json:"away"`
 	Partial bool           `json:"partial"`
 	Faults  int64          `json:"faults"`
+
+	// Degraded reports that the VM's memtap cannot reach its memory
+	// server (circuit breaker open); Quarantined that a forced
+	// promotion also failed. Retries/Reconnects expose the memtap's
+	// resilience counters for availability accounting.
+	Degraded    bool  `json:"degraded,omitempty"`
+	Quarantined bool  `json:"quarantined,omitempty"`
+	Retries     int64 `json:"retries,omitempty"`
+	Reconnects  int64 `json:"reconnects,omitempty"`
 }
 
 // Stats summarises the agent's state for the manager's periodic
@@ -242,6 +266,7 @@ func (a *Agent) register() {
 	h("PostCopyMigrate", a.handlePostCopyMigrate)
 	h("AdoptVM", a.handleAdoptVM)
 	h("Reintegrate", a.handleReintegrate)
+	h("RecoverDegraded", a.handleRecoverDegraded)
 	h("ReceiveDirty", a.handleReceiveDirty)
 	h("Suspend", a.handleSuspend)
 	h("Wake", a.handleWake)
@@ -829,6 +854,69 @@ func (a *Agent) handleReceiveDirty(params json.RawMessage) (any, error) {
 	return nil, nil
 }
 
+// handleRecoverDegraded is the last rung before quarantine on the
+// degradation ladder (§4.4.4): a partial VM whose memory server is gone
+// (memtap breaker open) is force-promoted home. The mechanics are
+// deliberately those of reintegration — the dirty pages live in THIS
+// host's DRAM and the owner holds the retained last-good image, so the
+// push home needs nothing from the failed memory server and loses no
+// state: last good image + local dirty delta = the VM's exact memory.
+// If even that push fails (owner unreachable), the VM is quarantined:
+// left resident and flagged for manual recovery rather than silently
+// retried forever.
+func (a *Agent) handleRecoverDegraded(params json.RawMessage) (any, error) {
+	args, err := decode[RecoverArgs](params)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	mv, ok := a.vms[args.VMID]
+	if !ok || mv.pvm == nil {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("vm %04d is not a partial VM here", args.VMID)
+	}
+	if !args.Force && (mv.mt == nil || !mv.mt.Degraded()) {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("vm %04d is not degraded (memory server reachable); use force to promote anyway", args.VMID)
+	}
+	snap, pages, err := mv.pvm.DirtySnapshot()
+	if err != nil {
+		mv.quarantined = true
+		a.mu.Unlock()
+		return nil, fmt.Errorf("vm %04d quarantined: dirty snapshot failed: %w", args.VMID, err)
+	}
+	a.mu.Unlock()
+
+	push := func() error {
+		peer, err := a.peer(args.Dest)
+		if err != nil {
+			return err
+		}
+		return peer.Call("Agent.ReceiveDirty", receiveDirtyArgs{
+			VMID:     args.VMID,
+			Snapshot: base64.StdEncoding.EncodeToString(snap),
+		}, nil)
+	}
+	if err := push(); err != nil {
+		a.mu.Lock()
+		mv.quarantined = true
+		a.mu.Unlock()
+		a.logf("agent %s: vm %04d QUARANTINED: forced promotion to %s failed: %v",
+			a.Name, args.VMID, args.Dest, err)
+		return nil, fmt.Errorf("vm %04d quarantined: promotion to owner failed: %w", args.VMID, err)
+	}
+
+	a.mu.Lock()
+	if mv.mt != nil {
+		mv.mt.Close()
+	}
+	delete(a.vms, args.VMID)
+	a.mu.Unlock()
+	a.logf("agent %s: force-promoted degraded vm %04d home to %s (%d dirty pages)",
+		a.Name, args.VMID, args.Dest, pages)
+	return nil, nil
+}
+
 func (a *Agent) handleSuspend(json.RawMessage) (any, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -865,7 +953,12 @@ func (a *Agent) handleStats(json.RawMessage) (any, error) {
 		}
 		if mv.mt != nil {
 			info.Faults = mv.mt.Faults()
+			info.Degraded = mv.mt.Degraded()
+			rs := mv.mt.Resilience()
+			info.Retries = rs.Retries
+			info.Reconnects = rs.Reconnects
 		}
+		info.Quarantined = mv.quarantined
 		st.VMs = append(st.VMs, info)
 	}
 	return st, nil

@@ -152,6 +152,48 @@ func (m *Manager) Reintegrate(id pagestore.VMID, consHost, owner string) error {
 	return c.client.Call("Agent.Reintegrate", MigrateArgs{VMID: id, Dest: o.addr}, nil)
 }
 
+// RecoverDegraded force-promotes a degraded partial VM from consHost
+// back to its owner (§4.4.4 degradation ladder): the owner is woken
+// first (it was likely suspended — that is why the VM was consolidated),
+// then the consolidation host pushes the VM's dirty state home, where it
+// merges with the retained last-good image and the VM resumes as a full
+// VM. Set force to promote a VM whose memtap does not (yet) report
+// degraded.
+func (m *Manager) RecoverDegraded(id pagestore.VMID, consHost, owner string, force bool) error {
+	c, err := m.host(consHost)
+	if err != nil {
+		return err
+	}
+	o, err := m.host(owner)
+	if err != nil {
+		return err
+	}
+	if err := m.Wake(owner); err != nil {
+		return fmt.Errorf("manager: wake owner %s for degraded vm %04d: %w", owner, id, err)
+	}
+	return c.client.Call("Agent.RecoverDegraded", RecoverArgs{VMID: id, Dest: o.addr, Force: force}, nil)
+}
+
+// DegradedVMs scans every host's stats and returns the degraded (and not
+// yet quarantined) partial VMs as (vmid → consolidation host). The scan
+// is best-effort: hosts that are themselves unreachable are skipped —
+// this sweep runs precisely when parts of the cluster are failing.
+func (m *Manager) DegradedVMs() (map[pagestore.VMID]string, error) {
+	out := make(map[pagestore.VMID]string)
+	for _, name := range m.Hosts() {
+		st, err := m.HostStats(name)
+		if err != nil {
+			continue
+		}
+		for _, vi := range st.VMs {
+			if vi.Degraded && !vi.Quarantined {
+				out[vi.VMID] = name
+			}
+		}
+	}
+	return out, nil
+}
+
 // Suspend puts a host into (simulated) S3; it fails if VMs still run
 // there. The host's memory server keeps serving pages.
 func (m *Manager) Suspend(name string) error {

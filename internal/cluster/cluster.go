@@ -162,6 +162,15 @@ type Config struct {
 	// EventLogSize bounds the manager's decision log (Events); zero
 	// disables logging.
 	EventLogSize int
+
+	// MemServerMTBF enables memory-server fault injection: the mean time
+	// between failures of each *serving* memory server (one on a
+	// sleeping home with VMs away). Zero disables injection. Outages
+	// strand the home's partial VMs (degraded, §4.4.4) and trigger
+	// forced promotion back home; see faults.go. Failures draw from a
+	// dedicated RNG, so enabling them does not perturb the placement
+	// decisions of a same-seed fault-free run.
+	MemServerMTBF time.Duration
 }
 
 // DefaultConfig returns the §5.1 simulation configuration.
@@ -215,7 +224,10 @@ type Cluster struct {
 	VMs   []*vm.VM
 
 	rand *rng.Rand
-	meta map[pagestore.VMID]*vmMeta
+	// faultRand drives memory-server outage injection separately from
+	// rand, keeping fault-free runs bit-identical across MTBF settings.
+	faultRand *rng.Rand
+	meta      map[pagestore.VMID]*vmMeta
 
 	// busyUntil tracks, per home host, when its NIC finishes the
 	// reintegration transfers already in flight (in absolute sim
@@ -259,6 +271,7 @@ func New(sim *simtime.Simulator, cfg Config) (*Cluster, error) {
 		Cfg:       cfg,
 		Sim:       sim,
 		rand:      rng.New(cfg.Seed),
+		faultRand: rng.New(cfg.Seed ^ 0xfa177),
 		meta:      make(map[pagestore.VMID]*vmMeta),
 		busyUntil: make(map[int]float64),
 	}

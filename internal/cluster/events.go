@@ -42,6 +42,10 @@ const (
 	EvExchange    = "exchange"    // an idle full VM was swapped for a partial
 	EvReintegrate = "reintegrate" // a partial VM was pushed back home
 	EvNewHome     = "new-home"    // an activating VM relocated to a new host
+
+	// Fault-injection events (Config.MemServerMTBF > 0).
+	EvMemServerFail = "memserver-fail" // a serving memory server died
+	EvForcePromote  = "force-promote"  // a stranded partial VM was promoted home
 )
 
 // event appends to the bounded log (dropping the oldest entries) when

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMemServerOutagePromotesStranded: with an aggressive MTBF, a
+// vacated home's serving memory server eventually dies; all its partial
+// VMs must be walked down the degradation ladder — counted degraded,
+// force-promoted home as full VMs — and the home's upload state must be
+// invalidated so the next consolidation re-uploads in full.
+func TestMemServerOutagePromotesStranded(t *testing.T) {
+	cfg := smallConfig(Default)
+	cfg.MemServerMTBF = cfg.PlanEvery // p(outage)≈1 per serving server per tick
+	tc := newTestCluster(t, cfg)
+
+	// Tick 1: all idle → homes vacate, memory servers start serving.
+	tc.tick(allIdle(len(tc.c.VMs))...)
+	if tc.c.PoweredHosts() >= len(tc.c.Hosts) {
+		t.Fatal("no host vacated; outage test needs serving memory servers")
+	}
+
+	// Subsequent ticks: outages strike the serving servers.
+	for i := 0; i < 4 && tc.c.Stats.MemServerOutages == 0; i++ {
+		tc.tick(allIdle(len(tc.c.VMs))...)
+	}
+	st := &tc.c.Stats
+	if st.MemServerOutages == 0 {
+		t.Fatal("no outage injected despite MTBF == PlanEvery")
+	}
+	if st.DegradedVMs == 0 || st.ForcedPromotions != st.DegradedVMs {
+		t.Fatalf("degraded=%d promotions=%d; every stranded VM must be promoted",
+			st.DegradedVMs, st.ForcedPromotions)
+	}
+	if st.OutageRecovery.N() != int(st.DegradedVMs) {
+		t.Fatalf("recovery samples %d != degraded %d", st.OutageRecovery.N(), st.DegradedVMs)
+	}
+	if st.OutageRecovery.Mean() <= 0 {
+		t.Fatal("zero recovery latency for a forced promotion")
+	}
+	// Promoted VMs are full again, living on their (woken) home.
+	for _, v := range tc.c.VMs {
+		if v.Partial && tc.c.hostByID(v.Home).MemServerOn() == false && v.Host == v.Home {
+			t.Fatalf("vm %04d still partial on its home after promotion", v.ID)
+		}
+	}
+	// Upload state was invalidated: a full re-vacate must use first-time
+	// uploads (partial-first), not differential ones, for the struck home.
+	if a := st.Availability(len(tc.c.VMs), tc.c.Sim.Now().Seconds()); a >= 1 || a <= 0 {
+		t.Fatalf("availability = %v, want in (0,1) with injected outages", a)
+	}
+}
+
+// TestNoOutagesWithoutMTBF: the zero-value config injects nothing and
+// reports perfect availability.
+func TestNoOutagesWithoutMTBF(t *testing.T) {
+	tc := newTestCluster(t, smallConfig(Default))
+	for i := 0; i < 5; i++ {
+		tc.tick(allIdle(len(tc.c.VMs))...)
+	}
+	st := &tc.c.Stats
+	if st.MemServerOutages != 0 || st.DegradedVMs != 0 || st.ForcedPromotions != 0 {
+		t.Fatalf("fault stats nonzero without MTBF: %+v", st)
+	}
+	if a := st.Availability(len(tc.c.VMs), tc.c.Sim.Now().Seconds()); a != 1 {
+		t.Fatalf("availability = %v without faults, want 1", a)
+	}
+}
+
+// TestFaultInjectionPreservesDeterminism: enabling outages must not
+// perturb the main RNG stream — and same-seed fault runs must be
+// bit-identical to each other.
+func TestFaultInjectionPreservesDeterminism(t *testing.T) {
+	run := func(mtbf time.Duration) (Stats, int) {
+		cfg := smallConfig(Default)
+		cfg.MemServerMTBF = mtbf
+		tc := newTestCluster(t, cfg)
+		n := len(tc.c.VMs)
+		for i := 0; i < 6; i++ {
+			active := make([]bool, n)
+			active[i%n] = i%2 == 0 // a little churn, deterministic
+			tc.tick(active...)
+		}
+		return tc.c.Stats, tc.c.PoweredHosts()
+	}
+
+	// Same-seed fault runs are reproducible end to end.
+	a1, p1 := run(10 * time.Minute)
+	a2, p2 := run(10 * time.Minute)
+	if a1.MemServerOutages != a2.MemServerOutages || a1.ForcedPromotions != a2.ForcedPromotions || p1 != p2 {
+		t.Fatalf("fault runs diverged: %+v/%d vs %+v/%d",
+			a1.MemServerOutages, p1, a2.MemServerOutages, p2)
+	}
+
+	// A fault-free run draws nothing from the fault RNG; its placement
+	// stats match another fault-free run exactly (the dedicated-RNG
+	// design keeps the main stream untouched either way).
+	b1, q1 := run(0)
+	b2, q2 := run(0)
+	if b1.FullBytes != b2.FullBytes || b1.DescriptorBytes != b2.DescriptorBytes || q1 != q2 {
+		t.Fatal("fault-free runs diverged")
+	}
+	if b1.MemServerOutages != 0 {
+		t.Fatal("outages injected with MTBF = 0")
+	}
+}

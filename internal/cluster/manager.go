@@ -28,6 +28,12 @@ func (c *Cluster) Tick(active []bool) error {
 	// interval, collecting consolidation hosts newly exhausted by growth.
 	c.accrue(c.Cfg.PlanEvery)
 
+	// 1b. Inject memory-server outages (no-op unless configured) and walk
+	// the degradation ladder for the partial VMs they strand. This runs
+	// before activity transitions: a VM whose server died is promoted
+	// home as a full VM, so a simultaneous activation sees it full.
+	c.injectMemServerOutages()
+
 	// 2. Apply activity transitions. Activations first: they may trigger
 	// conversions, relocations, or wake-the-home returns.
 	var wentIdle []*vm.VM

@@ -35,10 +35,42 @@ type Stats struct {
 
 	// Exhaustions counts consolidation-host capacity exhaustion events.
 	Exhaustions int64
+
+	// Fault-injection accounting (Config.MemServerMTBF > 0): outages of
+	// serving memory servers, partial VMs stranded degraded by them, the
+	// forced promotions that recovered those VMs, and the recovery
+	// latency each degraded VM saw (seconds; a reintegration off the
+	// consolidation host's DRAM).
+	MemServerOutages int64
+	DegradedVMs      int64
+	ForcedPromotions int64
+	OutageRecovery   metrics.Sample
 }
 
 func (s *Stats) init() {
 	s.Ops = metrics.Counter{}
+}
+
+// UnavailableVMSeconds returns the total VM-seconds of unavailability
+// the injected memory-server outages caused: each degraded VM is
+// unavailable for its forced-promotion recovery latency.
+func (s *Stats) UnavailableVMSeconds() float64 {
+	return s.OutageRecovery.Mean() * float64(s.OutageRecovery.N())
+}
+
+// Availability returns the fraction of aggregate VM-time that was NOT
+// lost to memory-server outages, over a run of the given duration and VM
+// count. Without fault injection it is 1.
+func (s *Stats) Availability(vms int, runSeconds float64) float64 {
+	total := float64(vms) * runSeconds
+	if total <= 0 {
+		return 1
+	}
+	a := 1 - s.UnavailableVMSeconds()/total
+	if a < 0 {
+		return 0
+	}
+	return a
 }
 
 // NetworkBytes returns total datacenter network traffic.

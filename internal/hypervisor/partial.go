@@ -132,21 +132,24 @@ func (vm *PartialVM) Write(pfn pagestore.PFN, data []byte) error {
 
 // Install stores a page fetched from the memory server without marking it
 // dirty: its contents match the home's copy, so reintegration need not
-// push it. Prefetchers use this to stream in absent pages.
-func (vm *PartialVM) Install(pfn pagestore.PFN, data []byte) error {
+// push it. Prefetchers use this to stream in absent pages. It reports
+// whether the page was actually installed: false means the install raced
+// with a fault or a guest write and the newer local state was kept, so
+// callers accounting transferred-and-installed bytes must not count it.
+func (vm *PartialVM) Install(pfn pagestore.PFN, data []byte) (bool, error) {
 	if int64(pfn) >= vm.desc.Alloc.Pages() {
-		return fmt.Errorf("hypervisor: vm %04d: pfn %d out of range", vm.desc.VMID, pfn)
+		return false, fmt.Errorf("hypervisor: vm %04d: pfn %d out of range", vm.desc.VMID, pfn)
 	}
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	if vm.isPresent(pfn) {
-		return nil // raced with a fault or a guest write; keep newer state
+		return false, nil // raced with a fault or a guest write; keep newer state
 	}
 	if err := vm.mem.Write(pfn, data); err != nil {
-		return err
+		return false, err
 	}
 	vm.markPresent(pfn)
-	return nil
+	return true, nil
 }
 
 // AbsentPages returns up to max absent PFNs in ascending order (all of

@@ -15,12 +15,28 @@ import (
 	"oasis/internal/units"
 )
 
+// ErrClientBroken is returned by every operation after a transport error
+// has poisoned the connection. A failed write or read can leave a frame
+// half-transferred, so the stream's length-prefixed framing may be
+// misaligned; continuing would let a caller read another request's bytes
+// as its reply. The only safe recovery is a fresh connection (which
+// ResilientClient automates).
+var ErrClientBroken = errors.New("memserver: connection broken by a previous transport error")
+
+// DefaultOpTimeout bounds one request/response round trip. A page server
+// that takes longer than this is treated as failed: partial VMs block a
+// guest fault for every outstanding request, so an unbounded wait wedges
+// the VM harder than an error does.
+const DefaultOpTimeout = 30 * time.Second
+
 // Client is a connection to a memory page server. It is what a memtap
 // process (or a host agent performing uploads) holds. Client serialises
 // requests: the protocol is strictly request/response per connection.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu        sync.Mutex
+	conn      net.Conn
+	broken    bool
+	opTimeout time.Duration
 }
 
 // Dial connects and authenticates to the server at addr with the shared
@@ -30,7 +46,15 @@ func Dial(addr string, secret []byte, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("memserver: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn}
+	return NewClientConn(conn, secret)
+}
+
+// NewClientConn authenticates over an already-established connection and
+// returns a client owning it. It is the hook point for wrapped
+// transports (fault injection, custom dialers); Dial and DialTLS route
+// through the same authentication.
+func NewClientConn(conn net.Conn, secret []byte) (*Client, error) {
+	c := &Client{conn: conn, opTimeout: DefaultOpTimeout}
 	if err := c.authenticate(secret); err != nil {
 		conn.Close()
 		return nil, err
@@ -38,7 +62,34 @@ func Dial(addr string, secret []byte, timeout time.Duration) (*Client, error) {
 	return c, nil
 }
 
+// SetOpTimeout bounds each request/response round trip (zero disables
+// deadlines). The default is DefaultOpTimeout.
+func (c *Client) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opTimeout = d
+}
+
+// Broken reports whether a transport error has poisoned the connection;
+// every further operation returns ErrClientBroken.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// markBroken poisons the client after a transport error and closes the
+// connection so the peer's goroutine is released too. Callers hold c.mu.
+func (c *Client) markBroken() {
+	c.broken = true
+	c.conn.Close()
+}
+
 func (c *Client) authenticate(secret []byte) error {
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	typ, nonce, err := readFrame(c.conn)
 	if err != nil {
 		return fmt.Errorf("memserver: read challenge: %w", err)
@@ -72,21 +123,38 @@ func (c *Client) Close() error {
 }
 
 // roundTrip sends a request frame and returns the reply payload, mapping
-// msgError replies to errors.
+// msgError replies to errors. Any transport error (failed write, failed
+// or timed-out read, reply of an unexpected type) poisons the connection:
+// the framing may be misaligned mid-frame, so subsequent calls get
+// ErrClientBroken instead of another caller's bytes. A clean msgError
+// reply is a server-level error, not a transport fault, and leaves the
+// connection healthy.
 func (c *Client) roundTrip(typ byte, payload []byte, wantReply byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return nil, ErrClientBroken
+	}
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	}
 	if err := writeFrame(c.conn, typ, payload); err != nil {
+		c.markBroken()
 		return nil, err
 	}
 	rtyp, rpayload, err := readFrame(c.conn)
 	if err != nil {
+		c.markBroken()
 		return nil, err
+	}
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Time{})
 	}
 	if rtyp == msgError {
 		return nil, remoteError(rpayload)
 	}
 	if rtyp != wantReply {
+		c.markBroken()
 		return nil, fmt.Errorf("memserver: unexpected reply type %d", rtyp)
 	}
 	return rpayload, nil

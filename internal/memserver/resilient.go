@@ -1,0 +1,443 @@
+package memserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"oasis/internal/metrics"
+	"oasis/internal/pagestore"
+	"oasis/internal/rng"
+	"oasis/internal/units"
+)
+
+// This file adds the resilience layer the paper punts on ("a failed
+// memory server strands its partial VMs"): a client that survives dropped
+// connections, server restarts and transient stalls by reconnecting with
+// exponential backoff + jitter, retrying operations, and tripping a
+// circuit breaker when the server is genuinely gone so callers can
+// degrade (memtap reports the VM degraded; the agent force-promotes it
+// home from the last good image, §4.4.4).
+//
+// Retry classes. Every protocol operation is idempotent by design, which
+// is what makes transparent retry safe:
+//
+//   - GetPage/GetPages/Stats are pure reads.
+//   - PutImage replaces the whole image for a VMID; replaying it yields
+//     the same image.
+//   - PutDiff writes absolute page contents (not increments); applying
+//     the same diff twice is a no-op.
+//   - Delete and SetServing are trivially idempotent.
+//
+// Reads retry up to MaxRetries because a stranded partial VM has no
+// alternative. Mutating ops retry with the smaller MutatingRetries
+// budget: their callers (the host agent's upload path) hold the
+// authoritative copy and can re-drive the operation at a higher level,
+// so burning the fault window on retries only delays the degradation
+// decision.
+
+// ErrCircuitOpen is returned while the breaker is open: the server has
+// failed repeatedly and calls fail fast instead of queueing behind
+// doomed reconnect attempts. Callers treat it as "degrade now".
+var ErrCircuitOpen = errors.New("memserver: circuit open (memory server unavailable)")
+
+// BreakerState is the resilient client's circuit-breaker state.
+type BreakerState int32
+
+// Breaker states: Closed passes traffic; Open fails fast; HalfOpen lets
+// probes through after the cooldown to test recovery.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and stats.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ResilientConfig tunes retry, backoff and breaker behaviour. Zero
+// values take defaults.
+type ResilientConfig struct {
+	// MaxRetries is the attempt budget per idempotent read op.
+	MaxRetries int
+	// MutatingRetries is the attempt budget per mutating op (all are
+	// idempotent by design, see the package comment; the budget is
+	// bounded anyway so upload paths fail over to degradation quickly).
+	MutatingRetries int
+	// BaseBackoff/MaxBackoff bound the exponential reconnect backoff;
+	// each retry waits base·2^attempt plus up to 50% seeded jitter,
+	// capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the jitter PRNG, keeping fault tests
+	// deterministic.
+	JitterSeed uint64
+	// BreakerThreshold is the number of consecutive failed attempts
+	// that trips the breaker open.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before a
+	// half-open probe is allowed.
+	BreakerCooldown time.Duration
+	// DialTimeout bounds each reconnect attempt; OpTimeout bounds each
+	// round trip (see Client.SetOpTimeout).
+	DialTimeout time.Duration
+	OpTimeout   time.Duration
+	// Dialer overrides how connections are (re)established; tests and
+	// the fault injector supply wrapped transports. Nil uses
+	// Dial(addr, secret, DialTimeout).
+	Dialer func() (*Client, error)
+	// Sleep replaces time.Sleep in backoff waits (virtual time in
+	// tests). Nil uses time.Sleep.
+	Sleep func(time.Duration)
+	// OnStateChange, when set, is called (outside locks) on every
+	// breaker transition. Memtap uses it to flag the VM degraded.
+	OnStateChange func(from, to BreakerState)
+}
+
+func (c *ResilientConfig) withDefaults() {
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 4
+	}
+	if c.MutatingRetries <= 0 {
+		c.MutatingRetries = 2
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = DefaultOpTimeout
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+}
+
+// ResilienceStats snapshots the resilient client's counters for the
+// metrics/degradation reporting layer.
+type ResilienceStats struct {
+	Retries      int64 // operation attempts beyond the first
+	Reconnects   int64 // successful re-dials after a poisoned connection
+	Failures     int64 // attempts that ended in a transport error
+	BreakerOpens int64 // closed/half-open → open transitions
+	State        BreakerState
+}
+
+// ResilientClient wraps the single-connection Client with reconnect,
+// retry and circuit breaking. It is safe for concurrent use; operations
+// serialise on the one underlying connection exactly as Client does.
+type ResilientClient struct {
+	cfg ResilientConfig
+
+	mu       sync.Mutex
+	client   *Client // nil when disconnected
+	everConn bool
+	state    BreakerState
+	fails    int       // consecutive failed attempts
+	openedAt time.Time // when the breaker last opened
+	jitter   *rng.Rand
+	counters *metrics.AtomicCounter
+
+	retries      int64
+	reconnects   int64
+	failures     int64
+	breakerOpens int64
+}
+
+// DialResilient returns a resilient client for the server at addr. The
+// first connection is attempted eagerly so misconfiguration (bad
+// address, bad secret) surfaces immediately; afterwards the client heals
+// itself across server crashes and restarts.
+func DialResilient(addr string, secret []byte, cfg ResilientConfig) (*ResilientClient, error) {
+	cfg.withDefaults()
+	if cfg.Dialer == nil {
+		secret = append([]byte(nil), secret...)
+		cfg.Dialer = func() (*Client, error) { return Dial(addr, secret, cfg.DialTimeout) }
+	}
+	r := NewResilient(cfg)
+	r.mu.Lock()
+	_, err := r.ensureClientLocked()
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// NewResilient builds a resilient client around cfg.Dialer without
+// connecting; the first operation dials. cfg.Dialer must be set.
+func NewResilient(cfg ResilientConfig) *ResilientClient {
+	cfg.withDefaults()
+	if cfg.Dialer == nil {
+		panic("memserver: NewResilient requires cfg.Dialer")
+	}
+	return &ResilientClient{
+		cfg:      cfg,
+		jitter:   rng.New(cfg.JitterSeed ^ 0x6f617369),
+		counters: metrics.NewAtomicCounter(),
+	}
+}
+
+// Close shuts the current connection down. The client may still be used
+// afterwards; the next operation reconnects.
+func (r *ResilientClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == nil {
+		return nil
+	}
+	err := r.client.Close()
+	r.client = nil
+	return err
+}
+
+// BreakerState returns the current circuit-breaker state.
+func (r *ResilientClient) BreakerState() BreakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Stats snapshots the resilience counters.
+func (r *ResilientClient) ResilienceStats() ResilienceStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ResilienceStats{
+		Retries:      r.retries,
+		Reconnects:   r.reconnects,
+		Failures:     r.failures,
+		BreakerOpens: r.breakerOpens,
+		State:        r.state,
+	}
+}
+
+// Counters exposes the named event tallies (retry, reconnect, ...) for
+// aggregation into higher-level metrics.
+func (r *ResilientClient) Counters() *metrics.AtomicCounter { return r.counters }
+
+// ensureClientLocked returns a healthy client, dialing if needed.
+// Callers hold r.mu.
+func (r *ResilientClient) ensureClientLocked() (*Client, error) {
+	if r.client != nil && !r.client.Broken() {
+		return r.client, nil
+	}
+	if r.client != nil {
+		r.client.Close()
+		r.client = nil
+	}
+	c, err := r.cfg.Dialer()
+	if err != nil {
+		return nil, err
+	}
+	c.SetOpTimeout(r.cfg.OpTimeout)
+	r.client = c
+	if r.everConn {
+		r.reconnects++
+		r.counters.Inc("reconnect", 1)
+	}
+	r.everConn = true
+	return c, nil
+}
+
+// setStateLocked transitions the breaker, returning a callback to invoke
+// after unlocking (or nil).
+func (r *ResilientClient) setStateLocked(s BreakerState) func() {
+	if r.state == s {
+		return nil
+	}
+	from := r.state
+	r.state = s
+	if s == BreakerOpen {
+		r.openedAt = time.Now()
+		r.breakerOpens++
+		r.counters.Inc("breaker-open", 1)
+	}
+	if cb := r.cfg.OnStateChange; cb != nil {
+		return func() { cb(from, s) }
+	}
+	return nil
+}
+
+// allow checks the breaker before an attempt: open and still cooling
+// down → fail fast; open past the cooldown → half-open probe.
+func (r *ResilientClient) allow() error {
+	r.mu.Lock()
+	var cb func()
+	err := error(nil)
+	if r.state == BreakerOpen {
+		if time.Since(r.openedAt) >= r.cfg.BreakerCooldown {
+			cb = r.setStateLocked(BreakerHalfOpen)
+		} else {
+			err = ErrCircuitOpen
+		}
+	}
+	r.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+	return err
+}
+
+// onSuccess resets the failure accounting and closes the breaker.
+func (r *ResilientClient) onSuccess() {
+	r.mu.Lock()
+	r.fails = 0
+	cb := r.setStateLocked(BreakerClosed)
+	r.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// onFailure counts a failed attempt and trips the breaker when the
+// consecutive-failure threshold is reached (immediately, when a
+// half-open probe fails).
+func (r *ResilientClient) onFailure() {
+	r.mu.Lock()
+	r.fails++
+	r.failures++
+	r.counters.Inc("failure", 1)
+	var cb func()
+	if r.state == BreakerHalfOpen || r.fails >= r.cfg.BreakerThreshold {
+		cb = r.setStateLocked(BreakerOpen)
+	}
+	r.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// backoff sleeps base·2^attempt with up to 50% seeded jitter, capped at
+// MaxBackoff.
+func (r *ResilientClient) backoff(attempt int) {
+	d := r.cfg.BaseBackoff << uint(attempt)
+	if d > r.cfg.MaxBackoff || d <= 0 {
+		d = r.cfg.MaxBackoff
+	}
+	r.mu.Lock()
+	frac := r.jitter.Float64()
+	r.mu.Unlock()
+	d += time.Duration(frac * 0.5 * float64(d))
+	r.cfg.Sleep(d)
+}
+
+// do runs fn with retry/reconnect/breaker handling. A remoteError reply
+// is a healthy server refusing the request (unknown VM, not serving):
+// it is returned as-is without burning retries or tripping the breaker.
+func (r *ResilientClient) do(op string, mutating bool, fn func(*Client) error) error {
+	attempts := r.cfg.MaxRetries
+	if mutating {
+		attempts = r.cfg.MutatingRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := r.allow(); err != nil {
+			return fmt.Errorf("memserver: %s: %w", op, err)
+		}
+		if attempt > 0 {
+			r.mu.Lock()
+			r.retries++
+			r.counters.Inc("retry", 1)
+			r.mu.Unlock()
+		}
+		r.mu.Lock()
+		c, err := r.ensureClientLocked()
+		r.mu.Unlock()
+		if err == nil {
+			err = fn(c)
+			if err == nil {
+				r.onSuccess()
+				return nil
+			}
+			var remote remoteError
+			if errors.As(err, &remote) {
+				r.onSuccess() // the transport worked; the server said no
+				return err
+			}
+		}
+		lastErr = err
+		r.onFailure()
+		if attempt < attempts-1 {
+			r.backoff(attempt)
+		}
+	}
+	return fmt.Errorf("memserver: %s failed after %d attempts: %w", op, attempts, lastErr)
+}
+
+// GetPage fetches one guest page with retries (see Client.GetPage).
+func (r *ResilientClient) GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
+	var page []byte
+	err := r.do("GetPage", false, func(c *Client) error {
+		var err error
+		page, err = c.GetPage(id, pfn)
+		return err
+	})
+	return page, err
+}
+
+// GetPages fetches a batch of pages with retries (see Client.GetPages).
+func (r *ResilientClient) GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestore.PFN][]byte, error) {
+	var pages map[pagestore.PFN][]byte
+	err := r.do("GetPages", false, func(c *Client) error {
+		var err error
+		pages, err = c.GetPages(id, pfns)
+		return err
+	})
+	return pages, err
+}
+
+// Stats fetches server counters with retries.
+func (r *ResilientClient) Stats() (Stats, error) {
+	var st Stats
+	err := r.do("Stats", false, func(c *Client) error {
+		var err error
+		st, err = c.Stats()
+		return err
+	})
+	return st, err
+}
+
+// PutImage uploads a full image with a bounded retry budget (idempotent:
+// it replaces the VM's image wholesale).
+func (r *ResilientClient) PutImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte) error {
+	return r.do("PutImage", true, func(c *Client) error { return c.PutImage(id, alloc, snapshot) })
+}
+
+// PutDiff applies a differential snapshot with a bounded retry budget
+// (idempotent: diffs carry absolute page contents).
+func (r *ResilientClient) PutDiff(id pagestore.VMID, snapshot []byte) error {
+	return r.do("PutDiff", true, func(c *Client) error { return c.PutDiff(id, snapshot) })
+}
+
+// Delete frees a VM's image with a bounded retry budget (idempotent).
+func (r *ResilientClient) Delete(id pagestore.VMID) error {
+	return r.do("Delete", true, func(c *Client) error { return c.Delete(id) })
+}
+
+// SetServing toggles serving with a bounded retry budget (idempotent).
+func (r *ResilientClient) SetServing(on bool) error {
+	return r.do("SetServing", true, func(c *Client) error { return c.SetServing(on) })
+}

@@ -13,6 +13,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"oasis/internal/pagestore"
 	"oasis/internal/units"
@@ -27,6 +28,12 @@ type Stats struct {
 	Serving       bool        `json:"serving"`
 }
 
+// DefaultIdleTimeout is how long a connection may sit idle (no inbound
+// frame) before the server drops it. A stalled or half-open client —
+// one whose host died without closing the TCP connection — would
+// otherwise pin a goroutine and a conn-table entry forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
 // Server is a memory page server daemon. One runs per host in an Oasis
 // cluster; it owns the images the host wrote out before suspending.
 type Server struct {
@@ -36,6 +43,12 @@ type Server struct {
 
 	// persistDir, when set, mirrors images to disk (see persist.go).
 	persistDir string
+
+	// idleTimeout bounds how long serveConn waits for the next frame.
+	idleTimeout time.Duration
+	// wrapConn, when set, wraps every accepted connection — the hook
+	// the fault injector uses to perturb server-side transport.
+	wrapConn func(net.Conn) net.Conn
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -51,18 +64,36 @@ type Server struct {
 // NewServer creates a server that authenticates clients with the shared
 // secret. logf may be nil to disable logging.
 func NewServer(secret []byte, logf func(string, ...any)) *Server {
+	return NewServerWithStore(secret, pagestore.NewStore(), logf)
+}
+
+// NewServerWithStore creates a server over an existing image store. A
+// daemon restarting after a crash hands its reloaded store (or the
+// persist-dir images) to the new instance so partial VMs resume against
+// the same pages.
+func NewServerWithStore(secret []byte, store *pagestore.Store, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	s := &Server{
-		secret: append([]byte(nil), secret...),
-		store:  pagestore.NewStore(),
-		logf:   logf,
-		conns:  make(map[net.Conn]struct{}),
+		secret:      append([]byte(nil), secret...),
+		store:       store,
+		logf:        logf,
+		idleTimeout: DefaultIdleTimeout,
+		conns:       make(map[net.Conn]struct{}),
 	}
 	s.serving.Store(true)
 	return s
 }
+
+// SetIdleTimeout bounds how long a connection may sit without sending a
+// frame before it is dropped (zero disables the limit). The default is
+// DefaultIdleTimeout; call before Listen.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
+
+// SetConnWrapper installs a wrapper applied to every accepted
+// connection (fault injection, instrumentation). Call before Listen.
+func (s *Server) SetConnWrapper(wrap func(net.Conn) net.Conn) { s.wrapConn = wrap }
 
 // Store exposes the underlying image store (hosts preload images through
 // it when co-located, as the prototype's SAS path does).
@@ -162,6 +193,9 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.wrapConn != nil {
+			conn = s.wrapConn(conn)
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go s.serveConn(conn)
@@ -177,14 +211,33 @@ func (s *Server) dropConn(conn net.Conn) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.dropConn(conn)
+	// A panic while handling one client (a malformed request tripping an
+	// unforeseen edge, a fault-injection torn frame) must not take down
+	// the daemon: other hosts' partial VMs depend on it staying up.
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("memserver: conn %v: recovered from panic: %v", conn.RemoteAddr(), r)
+		}
+	}()
+	if s.idleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+	}
 	if err := s.authenticate(conn); err != nil {
 		s.logf("memserver: auth failure from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
 	for {
+		// Re-arm the idle deadline per frame: an active client may talk
+		// for hours, but a silent one is dropped after idleTimeout.
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		typ, payload, err := readFrame(conn)
 		if err != nil {
-			return // EOF or broken connection; client is gone
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.logf("memserver: conn %v: dropped after %v idle", conn.RemoteAddr(), s.idleTimeout)
+			}
+			return // EOF, idle timeout, or broken connection; client is gone
 		}
 		if err := s.handle(conn, typ, payload); err != nil {
 			s.logf("memserver: conn %v: %v", conn.RemoteAddr(), err)

@@ -98,10 +98,5 @@ func DialTLS(addr string, secret []byte, roots *x509.CertPool, timeout time.Dura
 	if err != nil {
 		return nil, fmt.Errorf("memserver: dial tls %s: %w", addr, err)
 	}
-	c := &Client{conn: conn}
-	if err := c.authenticate(secret); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return c, nil
+	return NewClientConn(conn, secret)
 }

@@ -5,10 +5,16 @@
 //
 // In the Xen prototype memtap is a dom0 user process wired to the
 // hypervisor through an event channel; here it is an object that satisfies
-// hypervisor.Pager over a real memserver TCP connection.
+// hypervisor.Pager over a real memserver TCP connection. The connection is
+// resilient by default: it reconnects with backoff across memory-server
+// crashes and restarts, and when the server is gone long enough for the
+// circuit breaker to open, the memtap reports the VM degraded so the host
+// agent can force-promote it home from the last good image (§4.4.4)
+// instead of wedging every guest fault.
 package memtap
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -20,11 +26,37 @@ import (
 	"oasis/internal/units"
 )
 
+// ErrDegraded marks fault-service errors taken while the memory server is
+// unavailable (circuit open). The hypervisor surfaces it up the fault
+// path; the agent reacts by promoting or quarantining the VM rather than
+// retrying into a dead server.
+var ErrDegraded = errors.New("memtap: memory server unavailable, VM degraded")
+
+// PageClient is the slice of the memory-server client surface a memtap
+// needs. Both *memserver.Client and *memserver.ResilientClient satisfy
+// it; tests may supply in-process fakes.
+type PageClient interface {
+	GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error)
+	GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestore.PFN][]byte, error)
+	Close() error
+}
+
+// breakerReporter is implemented by clients that expose circuit-breaker
+// state (memserver.ResilientClient).
+type breakerReporter interface {
+	BreakerState() memserver.BreakerState
+}
+
+// DefaultResilience is the resilience configuration memtap.New gives its
+// client. The host agent may tune it process-wide (e.g. from daemon
+// flags) before creating memtaps; tests shrink the backoffs.
+var DefaultResilience = memserver.ResilientConfig{}
+
 // Memtap services page faults for one partial VM from one memory server.
 // It is safe for concurrent use.
 type Memtap struct {
 	vmid   pagestore.VMID
-	client *memserver.Client
+	client PageClient
 
 	mu      sync.Mutex
 	faults  int64
@@ -33,20 +65,46 @@ type Memtap struct {
 }
 
 // New creates a memtap for the given VM, dialing the memory server at
-// addr with the shared secret. The agent configures each memtap with the
-// host and port of the memory server containing the VM's pages (§4.2).
+// addr with the shared secret over a resilient connection (reconnect,
+// retry, circuit breaker — see memserver.ResilientClient). The agent
+// configures each memtap with the host and port of the memory server
+// containing the VM's pages (§4.2).
 func New(vmid pagestore.VMID, addr string, secret []byte) (*Memtap, error) {
-	client, err := memserver.Dial(addr, secret, 5*time.Second)
+	cfg := DefaultResilience
+	cfg.JitterSeed ^= uint64(vmid) // de-correlate backoff across a host's memtaps
+	client, err := memserver.DialResilient(addr, secret, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("memtap: vm %04d: %w", vmid, err)
 	}
 	return &Memtap{vmid: vmid, client: client}, nil
 }
 
-// NewWithClient wraps an existing client (used by tests and by agents that
-// pool connections).
-func NewWithClient(vmid pagestore.VMID, client *memserver.Client) *Memtap {
+// NewWithClient wraps an existing client (used by tests and by agents
+// that pool connections or need custom resilience settings).
+func NewWithClient(vmid pagestore.VMID, client PageClient) *Memtap {
 	return &Memtap{vmid: vmid, client: client}
+}
+
+// Degraded reports whether the memory-server path is unavailable: the
+// resilient client's circuit breaker is open, so guest faults cannot be
+// serviced and the agent should promote or quarantine the VM (§4.4.4).
+// Memtaps over non-resilient clients never report degraded.
+func (m *Memtap) Degraded() bool {
+	if br, ok := m.client.(breakerReporter); ok {
+		return br.BreakerState() == memserver.BreakerOpen
+	}
+	return false
+}
+
+// Resilience snapshots the client's retry/reconnect/breaker counters
+// (zero value for non-resilient clients).
+func (m *Memtap) Resilience() memserver.ResilienceStats {
+	if rc, ok := m.client.(interface {
+		ResilienceStats() memserver.ResilienceStats
+	}); ok {
+		return rc.ResilienceStats()
+	}
+	return memserver.ResilienceStats{}
 }
 
 // FetchPage implements hypervisor.Pager.
@@ -57,6 +115,9 @@ func (m *Memtap) FetchPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error)
 	start := time.Now()
 	page, err := m.client.GetPage(id, pfn)
 	if err != nil {
+		if errors.Is(err, memserver.ErrCircuitOpen) || m.Degraded() {
+			return nil, fmt.Errorf("%w: %w", ErrDegraded, err)
+		}
 		return nil, err
 	}
 	m.mu.Lock()
@@ -74,7 +135,9 @@ func (m *Memtap) Faults() int64 {
 	return m.faults
 }
 
-// FetchedBytes returns the uncompressed bytes installed.
+// FetchedBytes returns the uncompressed bytes actually installed into the
+// VM (on-demand faults plus prefetch installs; pages the prefetcher lost
+// a race for are not counted).
 func (m *Memtap) FetchedBytes() units.Bytes {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -109,20 +172,31 @@ func (m *Memtap) PrefetchRemaining(vm *hypervisor.PartialVM, batch int) (int, er
 		}
 		pages, err := m.client.GetPages(m.vmid, pfns)
 		if err != nil {
+			if errors.Is(err, memserver.ErrCircuitOpen) || m.Degraded() {
+				err = fmt.Errorf("%w: %w", ErrDegraded, err)
+			}
 			return installed, fmt.Errorf("memtap: prefetch vm %04d: %w", m.vmid, err)
 		}
+		var batchBytes units.Bytes
 		for _, pfn := range pfns {
 			page, ok := pages[pfn]
 			if !ok {
 				return installed, fmt.Errorf("memtap: prefetch vm %04d: server omitted pfn %d", m.vmid, pfn)
 			}
-			if err := vm.Install(pfn, page); err != nil {
+			ok, err := vm.Install(pfn, page)
+			if err != nil {
 				return installed, err
 			}
-			installed++
+			if ok {
+				// Only pages actually installed count toward
+				// FetchedBytes; installs that lose the race to a
+				// concurrent fault or guest write are dropped.
+				installed++
+				batchBytes += units.PageSize
+			}
 		}
 		m.mu.Lock()
-		m.bytes += units.Bytes(len(pfns)) * units.PageSize
+		m.bytes += batchBytes
 		m.mu.Unlock()
 	}
 }

@@ -49,6 +49,11 @@ type Result struct {
 	// Manager statistics (Figures 9-11 inputs).
 	Stats cluster.Stats
 
+	// Availability is the fraction of aggregate VM-time not lost to
+	// injected memory-server outages (1.0 when fault injection is off;
+	// see cluster.Config.MemServerMTBF).
+	Availability float64
+
 	// Events is the manager's decision log, populated when
 	// Cluster.EventLogSize > 0.
 	Events []cluster.Event
@@ -114,6 +119,7 @@ func Run(cfg Config) (*Result, error) {
 		res.SavingsPct = (1 - res.OasisJoules/res.BaselineJoules) * 100
 	}
 	res.Stats = cl.Stats
+	res.Availability = cl.Stats.Availability(nVMs, simtime.Day.Seconds())
 	res.Events = cl.Events()
 	return res, nil
 }

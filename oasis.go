@@ -179,13 +179,48 @@ func DialMemServer(addr string, secret []byte, timeout time.Duration) (*MemClien
 	return memserver.Dial(addr, secret, timeout)
 }
 
+// ---- Resilient client path (fault tolerance) ----
+
+// ResilientMemClient wraps MemClient with reconnect, bounded retries of
+// idempotent operations, and a circuit breaker.
+type ResilientMemClient = memserver.ResilientClient
+
+// ResilienceConfig tunes the retry/backoff/breaker behaviour; the zero
+// value selects sensible defaults.
+type ResilienceConfig = memserver.ResilientConfig
+
+// ResilienceStats counts what the fault path did: retries, reconnects,
+// failures, breaker transitions.
+type ResilienceStats = memserver.ResilienceStats
+
+// ErrCircuitOpen is returned while the breaker is open and the memory
+// server is presumed down.
+var ErrCircuitOpen = memserver.ErrCircuitOpen
+
+// ErrMemtapDegraded wraps page-fetch errors once a memtap's breaker has
+// opened; the VM should be force-promoted to its home (full migration).
+var ErrMemtapDegraded = memtap.ErrDegraded
+
+// DialMemServerResilient connects with the resilient client. The zero
+// config selects defaults.
+func DialMemServerResilient(addr string, secret []byte, cfg ResilienceConfig) (*ResilientMemClient, error) {
+	return memserver.DialResilient(addr, secret, cfg)
+}
+
 // Memtap services the page faults of one partial VM from a memory server
 // (§4.2).
 type Memtap = memtap.Memtap
 
-// NewMemtap dials the memory server holding the VM's pages.
+// NewMemtap dials the memory server holding the VM's pages through a
+// resilient client (reconnect, retry, circuit breaker).
 func NewMemtap(vmid VMID, addr string, secret []byte) (*Memtap, error) {
 	return memtap.New(vmid, addr, secret)
+}
+
+// NewMemtapWithClient builds a memtap over a caller-supplied page client
+// (e.g. a ResilientMemClient with custom tuning).
+func NewMemtapWithClient(vmid VMID, client memtap.PageClient) *Memtap {
+	return memtap.NewWithClient(vmid, client)
 }
 
 // VMDescriptor is the metadata pushed to a destination host to create a
