@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet lint check bench clean
 
 all: build
 
@@ -19,8 +19,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the CI gate: vet + race tests.
-check: vet race
+# lint fails if any file needs gofmt, then vets. gofmt -l prints the
+# offending files, so the CI log names them.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# check is the CI gate: lint + race tests.
+check: lint race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -30,6 +30,7 @@ import (
 	"oasis/internal/faultinject"
 	"oasis/internal/memserver"
 	"oasis/internal/pagestore"
+	"oasis/internal/telemetry"
 )
 
 func main() {
@@ -44,10 +45,20 @@ func main() {
 		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed for the fault injector (deterministic chaos)")
 		chaosCrash = flag.Duration("chaos-crash", 0, "kill and restart the daemon this often (0 disables); images survive the restart")
 		chaosDown  = flag.Duration("chaos-downtime", 2*time.Second, "with -chaos-crash: how long the daemon stays down per crash")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (empty disables); see OBSERVABILITY.md")
 	)
 	flag.Parse()
 	if *secret == "" {
 		log.Fatal("memserverd: -secret is required; clients authenticate with HMAC-SHA256")
+	}
+
+	if *metricsAddr != "" {
+		ts, err := telemetry.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatalf("memserverd: -metrics-addr: %v", err)
+		}
+		log.Printf("memserverd: telemetry on http://%s/metrics", ts.Addr())
 	}
 
 	var inj *faultinject.Injector

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"oasis"
@@ -55,9 +56,11 @@ func main() {
 
 	// A generous breaker budget: this tool is a connectivity demo, so it
 	// should keep retrying through injected storms rather than declare
-	// the server down the way an agent's memtap would.
-	rcfg := func(jitter uint64) oasis.ResilienceConfig {
+	// the server down the way an agent's memtap would. Name labels each
+	// client's oasis_client_* metrics in the shared registry.
+	rcfg := func(name string, jitter uint64) oasis.ResilienceConfig {
 		return oasis.ResilienceConfig{
+			Name:             name,
 			MaxRetries:       *retries,
 			MutatingRetries:  *retries,
 			BreakerThreshold: 4 * *retries,
@@ -67,7 +70,7 @@ func main() {
 
 	// Upload the image (the host's pre-suspend upload, §4.3) over a
 	// resilient client: uploads are idempotent, so retries are safe.
-	client, err := oasis.DialMemServerResilient(*server, []byte(*secret), rcfg(*seed+1))
+	client, err := oasis.DialMemServerResilient(*server, []byte(*secret), rcfg("upload", *seed+1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +89,7 @@ func main() {
 	// Create a partial VM from the descriptor and fault pages on demand
 	// through a real memtap.
 	desc := oasis.NewVMDescriptor(id, "memtapctl-demo", alloc, 1)
-	rc, err := oasis.DialMemServerResilient(*server, []byte(*secret), rcfg(*seed))
+	rc, err := oasis.DialMemServerResilient(*server, []byte(*secret), rcfg("memtap", *seed))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,6 +124,12 @@ func main() {
 	}
 	fmt.Printf("touched %d pages: %d faults serviced, mean latency %v\n",
 		nTouch, mt.Faults(), mt.MeanLatency())
+	// The fault-path tracer records in this process (where the memtap
+	// runs), so show a sample here — a memserverd /traces scrape is empty.
+	fmt.Println("newest fault spans (stage split):")
+	if err := oasis.WriteFaultTraces(os.Stdout, 3); err != nil {
+		log.Fatal(err)
+	}
 
 	if *prefetch {
 		start = time.Now()
@@ -156,9 +165,11 @@ func main() {
 	fmt.Printf("server stats: %d VMs, %d pages served (%v), %d pages uploaded\n",
 		stats.VMs, stats.PagesServed, stats.BytesServed, stats.PagesUploaded)
 
-	// The memtap's client is resilient by default: report what the fault
-	// path actually did (all zeros against a healthy server).
-	rs := mt.Resilience()
-	fmt.Printf("resilience: %d retries, %d reconnects, %d failures, %d breaker opens (breaker %v, degraded %v)\n",
-		rs.Retries, rs.Reconnects, rs.Failures, rs.BreakerOpens, rs.State, mt.Degraded())
+	// Report what the fault path actually did (all zeros against a
+	// healthy server) straight from the live registry — the same values
+	// a -metrics-addr scrape would show, so the two cannot drift.
+	fmt.Printf("resilience (oasis_client_*, degraded %v):\n", mt.Degraded())
+	if err := oasis.WriteMetricsText(os.Stdout, "oasis_client_"); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -16,18 +16,27 @@ import (
 	"log"
 
 	"oasis/internal/agent"
+	"oasis/internal/telemetry"
 )
 
 func main() {
 	var (
-		name   = flag.String("name", "host-0", "host name")
-		rpc    = flag.String("rpc", "127.0.0.1:8100", "agent RPC listen address")
-		mem    = flag.String("mem", "127.0.0.1:8200", "memory server listen address")
-		secret = flag.String("secret", "", "shared memory-server secret (required)")
+		name        = flag.String("name", "host-0", "host name")
+		rpc         = flag.String("rpc", "127.0.0.1:8100", "agent RPC listen address")
+		mem         = flag.String("mem", "127.0.0.1:8200", "memory server listen address")
+		secret      = flag.String("secret", "", "shared memory-server secret (required)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (empty disables); see OBSERVABILITY.md")
 	)
 	flag.Parse()
 	if *secret == "" {
 		log.Fatal("oasis-agentd: -secret is required")
+	}
+	if *metricsAddr != "" {
+		ts, err := telemetry.Serve(*metricsAddr, nil, nil)
+		if err != nil {
+			log.Fatalf("oasis-agentd: -metrics-addr: %v", err)
+		}
+		log.Printf("oasis-agentd: telemetry on http://%s/metrics", ts.Addr())
 	}
 	a := agent.New(*name, []byte(*secret), log.Printf)
 	if err := a.Start(*rpc, *mem); err != nil {

@@ -24,9 +24,38 @@ import (
 	"oasis/internal/memserver"
 	"oasis/internal/memtap"
 	"oasis/internal/pagestore"
+	"oasis/internal/telemetry"
 	"oasis/internal/units"
 	"oasis/internal/wire"
 )
+
+// agentTel is one agent's live instruments, labeled by host name so a
+// multi-agent process (tests, a co-located control plane) keeps hosts
+// apart in one scrape. Migration counters count the source side of each
+// operation, matching the agent log lines.
+type agentTel struct {
+	migrations  func(kind string) *telemetry.Counter
+	promotions  *telemetry.Counter
+	quarantines *telemetry.Counter
+	suspended   *telemetry.Gauge
+}
+
+func newAgentTel(host string) *agentTel {
+	l := telemetry.L("host", host)
+	return &agentTel{
+		migrations: func(kind string) *telemetry.Counter {
+			return telemetry.Default.Counter("oasis_agent_migrations_total",
+				"Migration operations completed at this agent, by kind.",
+				l, telemetry.L("kind", kind))
+		},
+		promotions: telemetry.Default.Counter("oasis_agent_force_promotions_total",
+			"Degraded partial VMs force-promoted home (§4.4.4).", l),
+		quarantines: telemetry.Default.Counter("oasis_agent_quarantines_total",
+			"VMs quarantined after a failed forced promotion.", l),
+		suspended: telemetry.Default.Gauge("oasis_agent_suspended",
+			"1 while the host is suspended (memory server still serving).", l),
+	}
+}
 
 // managedVM is one VM under an agent's control.
 type managedVM struct {
@@ -87,6 +116,8 @@ type Agent struct {
 
 	peersMu sync.Mutex
 	peers   map[string]*wire.Client
+
+	tel *agentTel
 }
 
 // New creates an agent. Start must be called before use.
@@ -101,6 +132,7 @@ func New(name string, secret []byte, logf func(string, ...any)) *Agent {
 		vms:    make(map[pagestore.VMID]*managedVM),
 		staged: make(map[pagestore.VMID]*stagedVM),
 		peers:  make(map[string]*wire.Client),
+		tel:    newAgentTel(name),
 	}
 }
 
@@ -446,6 +478,7 @@ func (a *Agent) handlePartialMigrate(params json.RawMessage) (any, error) {
 	mv.uploaded = true
 	mv.uploadedEpoch = epoch
 	a.mu.Unlock()
+	a.tel.migrations("partial").Inc()
 	a.logf("agent %s: partial migrated vm %04d to %s (%d pages uploaded)",
 		a.Name, args.VMID, args.Dest, pages)
 	return nil, nil
@@ -604,6 +637,7 @@ func (a *Agent) handleFullMigrate(params json.RawMessage) (any, error) {
 	delete(a.vms, args.VMID)
 	a.mu.Unlock()
 	a.mem.Store().Delete(args.VMID)
+	a.tel.migrations("full_live").Inc()
 	a.logf("agent %s: live migrated vm %04d to %s (%d pre-copy rounds, %d stop-and-copy pages)",
 		a.Name, args.VMID, args.Dest, rounds+1, len(final))
 	return nil, nil
@@ -645,6 +679,7 @@ func (a *Agent) handlePostCopyMigrate(params json.RawMessage) (any, error) {
 	delete(a.vms, args.VMID)
 	a.mu.Unlock()
 	a.mem.Store().Delete(args.VMID)
+	a.tel.migrations("post_copy").Inc()
 	a.logf("agent %s: post-copy migrated vm %04d to %s", a.Name, args.VMID, args.Dest)
 	return nil, nil
 }
@@ -679,6 +714,7 @@ func (a *Agent) handleAdoptVM(params json.RawMessage) (any, error) {
 	mv.uploaded = false
 	a.mu.Unlock()
 	mt.Close()
+	a.tel.migrations("adopt").Inc()
 	a.logf("agent %s: adopted vm %04d after prefetching %d pages", a.Name, args.VMID, n)
 	return nil, nil
 }
@@ -824,6 +860,7 @@ func (a *Agent) handleReintegrate(params json.RawMessage) (any, error) {
 	}
 	delete(a.vms, args.VMID)
 	a.mu.Unlock()
+	a.tel.migrations("reintegrate").Inc()
 	a.logf("agent %s: reintegrated vm %04d to %s (%d dirty pages)", a.Name, args.VMID, args.Dest, pages)
 	return nil, nil
 }
@@ -883,6 +920,7 @@ func (a *Agent) handleRecoverDegraded(params json.RawMessage) (any, error) {
 	if err != nil {
 		mv.quarantined = true
 		a.mu.Unlock()
+		a.tel.quarantines.Inc()
 		return nil, fmt.Errorf("vm %04d quarantined: dirty snapshot failed: %w", args.VMID, err)
 	}
 	a.mu.Unlock()
@@ -901,6 +939,7 @@ func (a *Agent) handleRecoverDegraded(params json.RawMessage) (any, error) {
 		a.mu.Lock()
 		mv.quarantined = true
 		a.mu.Unlock()
+		a.tel.quarantines.Inc()
 		a.logf("agent %s: vm %04d QUARANTINED: forced promotion to %s failed: %v",
 			a.Name, args.VMID, args.Dest, err)
 		return nil, fmt.Errorf("vm %04d quarantined: promotion to owner failed: %w", args.VMID, err)
@@ -912,6 +951,7 @@ func (a *Agent) handleRecoverDegraded(params json.RawMessage) (any, error) {
 	}
 	delete(a.vms, args.VMID)
 	a.mu.Unlock()
+	a.tel.promotions.Inc()
 	a.logf("agent %s: force-promoted degraded vm %04d home to %s (%d dirty pages)",
 		a.Name, args.VMID, args.Dest, pages)
 	return nil, nil
@@ -926,6 +966,7 @@ func (a *Agent) handleSuspend(json.RawMessage) (any, error) {
 		}
 	}
 	a.suspended = true
+	a.tel.suspended.Set(1)
 	a.logf("agent %s: host suspended (memory server keeps serving)", a.Name)
 	return nil, nil
 }
@@ -934,6 +975,7 @@ func (a *Agent) handleWake(json.RawMessage) (any, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.suspended = false
+	a.tel.suspended.Set(0)
 	a.logf("agent %s: host woken", a.Name)
 	return nil, nil
 }

@@ -243,6 +243,10 @@ type Cluster struct {
 	// events is the bounded decision log (see Events).
 	events []Event
 
+	// tel mirrors Stats into live oasis_sim_* gauges every Tick; see
+	// telemetry.go. Lazily created so zero-value-ish test clusters work.
+	tel *simTel
+
 	Stats Stats
 }
 

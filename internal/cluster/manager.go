@@ -85,6 +85,10 @@ func (c *Cluster) Tick(active []bool) error {
 			c.Stats.ConsRatio.Add(float64(h.NumVMs()))
 		}
 	}
+
+	// 9. Mirror cumulative stats into the live oasis_sim_* gauges
+	// (observation only; never feeds back into the simulation).
+	c.publishTelemetry()
 	return nil
 }
 

@@ -11,6 +11,26 @@
 // layer the paper's memtap/memory-server split actually crosses — so the
 // resilience code in internal/memserver is exercised through the same
 // code paths production traffic takes.
+//
+// # Chaos spec grammar
+//
+// ParseSpec accepts the compact syntax the memserverd -chaos flag uses:
+// a comma-separated list of key=value clauses, each enabling one fault
+// mode. Probabilities are floats in [0,1]; durations use Go syntax
+// (5ms, 2s). Omitted keys stay disabled.
+//
+//	spec    = clause *("," clause)
+//	clause  = "dial"    "=" prob          dial attempts fail outright
+//	        | "read"    "=" prob          Read fails with connection reset
+//	        | "write"   "=" prob          Write fails with connection reset
+//	        | "partial" "=" prob          Write tears mid-frame, then resets
+//	        | "latency" "=" dur ":" prob  op is delayed by dur first
+//	        | "stall"   "=" dur ":" prob  op blocks for dur, then resets
+//
+// Example: "read=0.05,write=0.02,latency=5ms:0.2" makes 5% of reads and
+// 2% of writes fail, and delays 20% of operations by 5 ms. See
+// ExampleParseSpec for the round trip and ExampleInjector for wiring an
+// injector into a connection.
 package faultinject
 
 import (

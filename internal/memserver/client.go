@@ -163,18 +163,36 @@ func (c *Client) roundTrip(typ byte, payload []byte, wantReply byte) ([]byte, er
 // GetPage fetches one guest page, decompressing it. The returned slice
 // must not be modified if the page was all zero (a shared buffer).
 func (c *Client) GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
+	page, _, _, err := c.GetPageStaged(id, pfn)
+	return page, err
+}
+
+// GetPageStaged is GetPage plus the stage split the fault-path tracer
+// records: wire is the request/response round trip, decompress the
+// client-side page decode. Memtap prefers this (via the optional
+// StagedFetcher interface) so a /traces span can attribute fault
+// latency to the network or the decompressor.
+func (c *Client) GetPageStaged(id pagestore.VMID, pfn pagestore.PFN) (page []byte, wire, decompress time.Duration, err error) {
 	req := make([]byte, 12)
 	binary.BigEndian.PutUint32(req, uint32(id))
 	binary.BigEndian.PutUint64(req[4:], uint64(pfn))
+	start := time.Now()
 	reply, err := c.roundTrip(msgGetPage, req, msgPage)
+	wire = time.Since(start)
 	if err != nil {
-		return nil, err
+		return nil, wire, 0, err
 	}
 	if len(reply) < 2 {
-		return nil, errors.New("memserver: short page reply")
+		return nil, wire, 0, errors.New("memserver: short page reply")
 	}
 	token := binary.BigEndian.Uint16(reply)
-	return pagestore.DecodePage(token, reply[2:])
+	start = time.Now()
+	page, err = pagestore.DecodePage(token, reply[2:])
+	decompress = time.Since(start)
+	if err == nil {
+		decompressSeconds.Observe(decompress.Seconds())
+	}
+	return page, wire, decompress, err
 }
 
 // GetPages fetches a batch of guest pages in one round trip, for

@@ -9,6 +9,7 @@ import (
 	"oasis/internal/metrics"
 	"oasis/internal/pagestore"
 	"oasis/internal/rng"
+	"oasis/internal/telemetry"
 	"oasis/internal/units"
 )
 
@@ -104,6 +105,15 @@ type ResilientConfig struct {
 	// OnStateChange, when set, is called (outside locks) on every
 	// breaker transition. Memtap uses it to flag the VM degraded.
 	OnStateChange func(from, to BreakerState)
+	// Name labels this client's telemetry series (the `client` label on
+	// the oasis_client_* metrics), separating e.g. a memtap fault path
+	// from an agent upload path in one scrape. Empty means "default";
+	// clients sharing a name aggregate into the same counters.
+	Name string
+	// Registry receives the client's live metrics (retries, reconnects,
+	// failures, breaker opens/state, backoff time). Nil uses
+	// telemetry.Default, which is what -metrics-addr serves.
+	Registry *telemetry.Registry
 }
 
 func (c *ResilientConfig) withDefaults() {
@@ -160,6 +170,7 @@ type ResilientClient struct {
 	openedAt time.Time // when the breaker last opened
 	jitter   *rng.Rand
 	counters *metrics.AtomicCounter
+	tel      *resTel
 
 	retries      int64
 	reconnects   int64
@@ -198,6 +209,7 @@ func NewResilient(cfg ResilientConfig) *ResilientClient {
 		cfg:      cfg,
 		jitter:   rng.New(cfg.JitterSeed ^ 0x6f617369),
 		counters: metrics.NewAtomicCounter(),
+		tel:      newResTel(cfg.Registry, cfg.Name),
 	}
 }
 
@@ -257,6 +269,7 @@ func (r *ResilientClient) ensureClientLocked() (*Client, error) {
 	if r.everConn {
 		r.reconnects++
 		r.counters.Inc("reconnect", 1)
+		r.tel.reconnects.Inc()
 	}
 	r.everConn = true
 	return c, nil
@@ -270,10 +283,12 @@ func (r *ResilientClient) setStateLocked(s BreakerState) func() {
 	}
 	from := r.state
 	r.state = s
+	r.tel.state.Set(float64(s))
 	if s == BreakerOpen {
 		r.openedAt = time.Now()
 		r.breakerOpens++
 		r.counters.Inc("breaker-open", 1)
+		r.tel.opens.Inc()
 	}
 	if cb := r.cfg.OnStateChange; cb != nil {
 		return func() { cb(from, s) }
@@ -320,6 +335,7 @@ func (r *ResilientClient) onFailure() {
 	r.fails++
 	r.failures++
 	r.counters.Inc("failure", 1)
+	r.tel.failures.Inc()
 	var cb func()
 	if r.state == BreakerHalfOpen || r.fails >= r.cfg.BreakerThreshold {
 		cb = r.setStateLocked(BreakerOpen)
@@ -341,6 +357,7 @@ func (r *ResilientClient) backoff(attempt int) {
 	frac := r.jitter.Float64()
 	r.mu.Unlock()
 	d += time.Duration(frac * 0.5 * float64(d))
+	r.tel.backoff.Add(d.Seconds())
 	r.cfg.Sleep(d)
 }
 
@@ -362,6 +379,7 @@ func (r *ResilientClient) do(op string, mutating bool, fn func(*Client) error) e
 			r.retries++
 			r.counters.Inc("retry", 1)
 			r.mu.Unlock()
+			r.tel.retries.Inc()
 		}
 		r.mu.Lock()
 		c, err := r.ensureClientLocked()
@@ -396,6 +414,17 @@ func (r *ResilientClient) GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte,
 		return err
 	})
 	return page, err
+}
+
+// GetPageStaged fetches one page with retries, reporting the last
+// attempt's wire and decompress stage timings (see Client.GetPageStaged).
+func (r *ResilientClient) GetPageStaged(id pagestore.VMID, pfn pagestore.PFN) (page []byte, wire, decompress time.Duration, err error) {
+	err = r.do("GetPage", false, func(c *Client) error {
+		var err error
+		page, wire, decompress, err = c.GetPageStaged(id, pfn)
+		return err
+	})
+	return page, wire, decompress, err
 }
 
 // GetPages fetches a batch of pages with retries (see Client.GetPages).

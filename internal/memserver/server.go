@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"oasis/internal/pagestore"
+	"oasis/internal/telemetry"
 	"oasis/internal/units"
 )
 
@@ -59,6 +60,10 @@ type Server struct {
 	pagesServed   atomic.Int64
 	bytesServed   atomic.Int64
 	pagesUploaded atomic.Int64
+
+	// tel holds the live metric instruments (ops, bytes, latency, conns);
+	// see telemetry.go and OBSERVABILITY.md.
+	tel *serverTel
 }
 
 // NewServer creates a server that authenticates clients with the shared
@@ -81,10 +86,16 @@ func NewServerWithStore(secret []byte, store *pagestore.Store, logf func(string,
 		logf:        logf,
 		idleTimeout: DefaultIdleTimeout,
 		conns:       make(map[net.Conn]struct{}),
+		tel:         newServerTel(telemetry.Default),
 	}
 	s.serving.Store(true)
 	return s
 }
+
+// SetMetricsRegistry rebinds the server's telemetry instruments to r
+// (default: telemetry.Default). Call before Listen; tests use it to
+// read counters from an isolated registry.
+func (s *Server) SetMetricsRegistry(r *telemetry.Registry) { s.tel = newServerTel(r) }
 
 // SetIdleTimeout bounds how long a connection may sit without sending a
 // frame before it is dropped (zero disables the limit). The default is
@@ -209,20 +220,28 @@ func (s *Server) dropConn(conn net.Conn) {
 	conn.Close()
 }
 
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.dropConn(conn)
+func (s *Server) serveConn(raw net.Conn) {
+	defer s.dropConn(raw)
+	// Wire-byte accounting wraps the conn itself so every frame — auth
+	// included — is counted exactly once, in both directions.
+	conn := net.Conn(&countingConn{Conn: raw, in: s.tel.bytesIn, out: s.tel.bytesOut})
+	s.tel.connsTotal.Inc()
+	s.tel.connsActive.Inc()
+	defer s.tel.connsActive.Dec()
 	// A panic while handling one client (a malformed request tripping an
 	// unforeseen edge, a fault-injection torn frame) must not take down
 	// the daemon: other hosts' partial VMs depend on it staying up.
 	defer func() {
 		if r := recover(); r != nil {
+			s.tel.panics.Inc()
 			s.logf("memserver: conn %v: recovered from panic: %v", conn.RemoteAddr(), r)
 		}
 	}()
 	if s.idleTimeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		raw.SetReadDeadline(time.Now().Add(s.idleTimeout))
 	}
 	if err := s.authenticate(conn); err != nil {
+		s.tel.authFail.Inc()
 		s.logf("memserver: auth failure from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
@@ -230,11 +249,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		// Re-arm the idle deadline per frame: an active client may talk
 		// for hours, but a silent one is dropped after idleTimeout.
 		if s.idleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+			raw.SetReadDeadline(time.Now().Add(s.idleTimeout))
 		}
 		typ, payload, err := readFrame(conn)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.tel.idleDrops.Inc()
 				s.logf("memserver: conn %v: dropped after %v idle", conn.RemoteAddr(), s.idleTimeout)
 			}
 			return // EOF, idle timeout, or broken connection; client is gone
@@ -272,7 +292,12 @@ func (s *Server) authenticate(conn net.Conn) error {
 }
 
 func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
+	op := s.tel.op(typ)
+	op.total.Inc()
+	start := time.Now()
+	defer func() { op.lat.Observe(sinceSeconds(start)) }()
 	fail := func(err error) error {
+		op.errors.Inc()
 		return writeFrame(conn, msgError, []byte(err.Error()))
 	}
 	switch typ {
@@ -313,6 +338,7 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
 		if len(payload) != 8+8*n || n > maxBatchPages {
 			return fail(fmt.Errorf("malformed GetPages batch of %d", n))
 		}
+		s.tel.batchPages.Observe(float64(n))
 		im, err := s.store.Get(vmid)
 		if err != nil {
 			return fail(err)

@@ -1,0 +1,173 @@
+package memserver
+
+import (
+	"net"
+	"time"
+
+	"oasis/internal/telemetry"
+)
+
+// Live telemetry for the memory-server daemon and the resilient client.
+// Every instrument lives on a telemetry.Registry (the process Default
+// unless overridden), so a -metrics-addr scrape sees the same counters
+// the in-process Stats/ResilienceStats snapshots report. Instrument
+// updates are atomic adds on pre-registered series: the page-serving
+// hot path takes no locks and allocates nothing for metrics.
+
+// opName maps request message types to their metric label.
+func opName(typ byte) string {
+	switch typ {
+	case msgGetPage:
+		return "get_page"
+	case msgGetPages:
+		return "get_pages"
+	case msgPutImage:
+		return "put_image"
+	case msgPutDiff:
+		return "put_diff"
+	case msgDeleteVM:
+		return "delete"
+	case msgStats:
+		return "stats"
+	case msgSetServing:
+		return "set_serving"
+	default:
+		return "unknown"
+	}
+}
+
+// opTel is one operation's counter/latency pair.
+type opTel struct {
+	total  *telemetry.Counter
+	errors *telemetry.Counter
+	lat    *telemetry.Histogram
+}
+
+// serverTel bundles the daemon-side instruments. Multiple servers in one
+// process (each host agent embeds one) aggregate into shared series.
+type serverTel struct {
+	connsActive *telemetry.Gauge
+	connsTotal  *telemetry.Counter
+	authFail    *telemetry.Counter
+	panics      *telemetry.Counter
+	idleDrops   *telemetry.Counter
+	bytesIn     *telemetry.Counter
+	bytesOut    *telemetry.Counter
+	batchPages  *telemetry.Histogram
+	ops         map[byte]opTel
+}
+
+func newServerTel(r *telemetry.Registry) *serverTel {
+	t := &serverTel{
+		connsActive: r.Gauge("oasis_memserver_connections_active",
+			"Client connections currently held by the daemon."),
+		connsTotal: r.Counter("oasis_memserver_connections_total",
+			"Client connections accepted over the daemon's lifetime."),
+		authFail: r.Counter("oasis_memserver_auth_failures_total",
+			"Connections dropped for failing the HMAC challenge."),
+		panics: r.Counter("oasis_memserver_conn_panics_total",
+			"Per-connection panics recovered by the serve loop."),
+		idleDrops: r.Counter("oasis_memserver_idle_drops_total",
+			"Connections dropped for exceeding the idle timeout."),
+		bytesIn: r.Counter("oasis_memserver_bytes_in_total",
+			"Bytes read from clients (wire bytes, all frames)."),
+		bytesOut: r.Counter("oasis_memserver_bytes_out_total",
+			"Bytes written to clients (wire bytes, all frames)."),
+		batchPages: r.Histogram("oasis_memserver_batch_pages",
+			"Pages requested per GetPages batch.",
+			telemetry.ExpBuckets(1, 2, 13)),
+		ops: make(map[byte]opTel),
+	}
+	for _, typ := range []byte{msgGetPage, msgGetPages, msgPutImage, msgPutDiff,
+		msgDeleteVM, msgStats, msgSetServing, 0 /* unknown */} {
+		op := opName(typ)
+		t.ops[typ] = opTel{
+			total: r.Counter("oasis_memserver_ops_total",
+				"Operations handled, by protocol op.", telemetry.L("op", op)),
+			errors: r.Counter("oasis_memserver_op_errors_total",
+				"Operations answered with an error reply, by protocol op.", telemetry.L("op", op)),
+			lat: r.Histogram("oasis_memserver_op_seconds",
+				"Server-side operation service latency.", nil, telemetry.L("op", op)),
+		}
+	}
+	return t
+}
+
+// op returns the instruments for a message type, folding unrecognised
+// types onto the "unknown" series.
+func (t *serverTel) op(typ byte) opTel {
+	if o, ok := t.ops[typ]; ok {
+		return o
+	}
+	return t.ops[0]
+}
+
+// countingConn tallies wire bytes into the server's traffic counters.
+// Counting rides the Read/Write calls the serve loop already makes; it
+// adds two atomic CASes per syscall and nothing else.
+type countingConn struct {
+	net.Conn
+	in, out *telemetry.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.in.Add(float64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.out.Add(float64(n))
+	}
+	return n, err
+}
+
+// resTel bundles the resilient client's instruments. The client label
+// (ResilientConfig.Name) separates e.g. a memtap's fault path from an
+// agent's upload path; unnamed clients share the "default" series.
+type resTel struct {
+	retries    *telemetry.Counter
+	reconnects *telemetry.Counter
+	failures   *telemetry.Counter
+	opens      *telemetry.Counter
+	backoff    *telemetry.Counter
+	state      *telemetry.Gauge
+}
+
+func newResTel(r *telemetry.Registry, name string) *resTel {
+	if r == nil {
+		r = telemetry.Default
+	}
+	if name == "" {
+		name = "default"
+	}
+	l := telemetry.L("client", name)
+	return &resTel{
+		retries: r.Counter("oasis_client_retries_total",
+			"Operation attempts beyond the first.", l),
+		reconnects: r.Counter("oasis_client_reconnects_total",
+			"Successful re-dials after a poisoned connection.", l),
+		failures: r.Counter("oasis_client_failures_total",
+			"Attempts that ended in a transport error.", l),
+		opens: r.Counter("oasis_client_breaker_opens_total",
+			"Circuit-breaker transitions to open.", l),
+		backoff: r.Counter("oasis_client_backoff_seconds_total",
+			"Total time spent sleeping in retry backoff.", l),
+		state: r.Gauge("oasis_client_breaker_state",
+			"Current breaker state: 0 closed, 1 open, 2 half-open.", l),
+	}
+}
+
+// decompressTel tracks client-side page decompression, the stage of the
+// fault path that is neither wire nor install time.
+var decompressSeconds = func() *telemetry.Histogram {
+	return telemetry.Default.Histogram("oasis_client_decompress_seconds",
+		"Client-side page decode/decompress latency.", telemetry.ExpBuckets(1e-6, 2, 16))
+}()
+
+// sinceSeconds is a tiny helper for observing a latency.
+func sinceSeconds(start time.Time) float64 { return time.Since(start).Seconds() }

@@ -23,8 +23,43 @@ import (
 	"oasis/internal/memserver"
 	"oasis/internal/metrics"
 	"oasis/internal/pagestore"
+	"oasis/internal/telemetry"
 	"oasis/internal/units"
 )
+
+// Live telemetry (process-wide, aggregated across a host's memtaps; see
+// OBSERVABILITY.md). Fault spans additionally flow to
+// telemetry.FaultPath with the stage split fault → tap_lookup →
+// remote_fetch → decompress → resolve.
+var tel = struct {
+	faults      *telemetry.Counter
+	faultErrors *telemetry.Counter
+	bytes       *telemetry.Counter
+	latency     *telemetry.Histogram
+	prefetched  *telemetry.Counter
+	batches     *telemetry.Counter
+}{
+	faults: telemetry.Default.Counter("oasis_memtap_faults_total",
+		"Page faults serviced from memory servers."),
+	faultErrors: telemetry.Default.Counter("oasis_memtap_fault_errors_total",
+		"Page faults that failed (including degraded-path errors)."),
+	bytes: telemetry.Default.Counter("oasis_memtap_fetched_bytes_total",
+		"Uncompressed bytes installed into partial VMs (faults + prefetch)."),
+	latency: telemetry.Default.Histogram("oasis_memtap_fault_seconds",
+		"End-to-end page-fault service latency.", nil),
+	prefetched: telemetry.Default.Counter("oasis_memtap_prefetched_pages_total",
+		"Pages installed by PrefetchRemaining (partial→full conversion)."),
+	batches: telemetry.Default.Counter("oasis_memtap_prefetch_batches_total",
+		"GetPages batches issued by PrefetchRemaining."),
+}
+
+// degradedGauge returns the per-VM degraded flag gauge (1 while the
+// memtap's breaker is open).
+func degradedGauge(vmid pagestore.VMID) *telemetry.Gauge {
+	return telemetry.Default.Gauge("oasis_memtap_degraded",
+		"1 while the VM's memory-server path is unavailable (breaker open).",
+		telemetry.L("vm", fmt.Sprintf("%04d", vmid)))
+}
 
 // ErrDegraded marks fault-service errors taken while the memory server is
 // unavailable (circuit open). The hypervisor surfaces it up the fault
@@ -45,6 +80,14 @@ type PageClient interface {
 // state (memserver.ResilientClient).
 type breakerReporter interface {
 	BreakerState() memserver.BreakerState
+}
+
+// stagedFetcher is implemented by clients that report the wire/decompress
+// stage split of a page fetch (memserver.Client, memserver.ResilientClient);
+// FetchPage uses it to attribute fault latency in telemetry.FaultPath
+// spans. Plain PageClients fall back to an undivided fetch stage.
+type stagedFetcher interface {
+	GetPageStaged(id pagestore.VMID, pfn pagestore.PFN) (page []byte, wire, decompress time.Duration, err error)
 }
 
 // DefaultResilience is the resilience configuration memtap.New gives its
@@ -72,6 +115,23 @@ type Memtap struct {
 func New(vmid pagestore.VMID, addr string, secret []byte) (*Memtap, error) {
 	cfg := DefaultResilience
 	cfg.JitterSeed ^= uint64(vmid) // de-correlate backoff across a host's memtaps
+	if cfg.Name == "" {
+		cfg.Name = "memtap"
+	}
+	// Mirror breaker transitions into the per-VM degraded gauge without
+	// displacing a caller-supplied hook.
+	gauge := degradedGauge(vmid)
+	inner := cfg.OnStateChange
+	cfg.OnStateChange = func(from, to memserver.BreakerState) {
+		if to == memserver.BreakerOpen {
+			gauge.Set(1)
+		} else {
+			gauge.Set(0)
+		}
+		if inner != nil {
+			inner(from, to)
+		}
+	}
 	client, err := memserver.DialResilient(addr, secret, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("memtap: vm %04d: %w", vmid, err)
@@ -107,14 +167,34 @@ func (m *Memtap) Resilience() memserver.ResilienceStats {
 	return memserver.ResilienceStats{}
 }
 
-// FetchPage implements hypervisor.Pager.
+// FetchPage implements hypervisor.Pager. Each fault feeds the live
+// latency histogram and (sampled) a telemetry.FaultPath span with the
+// stage breakdown fault → tap_lookup → remote_fetch → decompress →
+// resolve.
 func (m *Memtap) FetchPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
+	start := time.Now()
+	span := telemetry.FaultPath.Start("fault")
 	if id != m.vmid {
+		span.End()
 		return nil, fmt.Errorf("memtap: configured for vm %04d, asked for %04d", m.vmid, id)
 	}
-	start := time.Now()
-	page, err := m.client.GetPage(id, pfn)
+	span.Stage("tap_lookup")
+
+	var page []byte
+	var err error
+	if sf, ok := m.client.(stagedFetcher); ok {
+		var wire, decompress time.Duration
+		page, wire, decompress, err = sf.GetPageStaged(id, pfn)
+		span.StageDuration("remote_fetch", wire)
+		span.StageDuration("decompress", decompress)
+		span.Mark()
+	} else {
+		page, err = m.client.GetPage(id, pfn)
+		span.Stage("remote_fetch")
+	}
 	if err != nil {
+		tel.faultErrors.Inc()
+		span.End()
 		if errors.Is(err, memserver.ErrCircuitOpen) || m.Degraded() {
 			return nil, fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
@@ -125,6 +205,11 @@ func (m *Memtap) FetchPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error)
 	m.bytes += units.PageSize
 	m.latency.Add(time.Since(start).Seconds())
 	m.mu.Unlock()
+	tel.faults.Inc()
+	tel.bytes.Add(float64(units.PageSize))
+	tel.latency.Observe(time.Since(start).Seconds())
+	span.Stage("resolve")
+	span.End()
 	return page, nil
 }
 
@@ -171,6 +256,7 @@ func (m *Memtap) PrefetchRemaining(vm *hypervisor.PartialVM, batch int) (int, er
 			return installed, nil
 		}
 		pages, err := m.client.GetPages(m.vmid, pfns)
+		tel.batches.Inc()
 		if err != nil {
 			if errors.Is(err, memserver.ErrCircuitOpen) || m.Degraded() {
 				err = fmt.Errorf("%w: %w", ErrDegraded, err)
@@ -198,5 +284,7 @@ func (m *Memtap) PrefetchRemaining(vm *hypervisor.PartialVM, batch int) (int, er
 		m.mu.Lock()
 		m.bytes += batchBytes
 		m.mu.Unlock()
+		tel.bytes.Add(float64(batchBytes))
+		tel.prefetched.Add(float64(batchBytes / units.PageSize))
 	}
 }

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the observability mux:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/traces        recent fault-path spans from tr (omitted when nil)
+//	/debug/pprof/  the standard pprof index (profile, heap, trace, ...)
+//
+// It is what Serve mounts; embedders (an agent with its own HTTP
+// surface) can mount it themselves.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	if tr != nil {
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			tr.WriteText(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "oasis telemetry: /metrics /traces /debug/pprof/")
+	})
+	return mux
+}
+
+// HTTPServer is a running observability endpoint; Close shuts it down.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *HTTPServer) Close() error { return s.srv.Close() }
+
+// Serve starts the observability endpoint on addr (e.g.
+// "127.0.0.1:9090", or ":0" to pick a port) serving reg and tr via
+// Handler. Pass nil to serve the process defaults (Default, FaultPath).
+// The server runs until Close.
+func Serve(addr string, reg *Registry, tr *Tracer) (*HTTPServer, error) {
+	if reg == nil {
+		reg = Default
+	}
+	if tr == nil {
+		tr = FaultPath
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, tr), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return &HTTPServer{ln: ln, srv: srv}, nil
+}

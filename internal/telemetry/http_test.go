@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("http_test_hits_total", "Hits.").Add(7)
+	tr := NewTracer(4)
+	sp := tr.Start("fault")
+	sp.Stage("resolve")
+	sp.End()
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE http_test_hits_total counter",
+		"http_test_hits_total 7",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get(t, base+"/traces")
+	if code != http.StatusOK || !strings.Contains(body, "fault") {
+		t.Errorf("/traces: status %d body %q", code, body)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: status %d", code)
+	}
+
+	code, body, _ = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", code, body)
+	}
+
+	if code, _, _ = get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}
+
+func TestServeDefaults(t *testing.T) {
+	Default.Counter("http_test_default_total", "Default-registry marker.").Inc()
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, body, _ := get(t, "http://"+srv.Addr()+"/metrics")
+	if !strings.Contains(body, "http_test_default_total") {
+		t.Error("nil registry must serve telemetry.Default")
+	}
+}

@@ -1,0 +1,321 @@
+// Package telemetry is the live metrics registry and fault-path tracer
+// for the Oasis daemons. Where internal/metrics is a post-hoc statistics
+// toolkit (percentiles, CDFs, energy integrals computed after a run),
+// telemetry is the runtime observability layer: concurrency-safe
+// counters, gauges and bounded-bucket histograms that the hot paths
+// update in place, exposed in Prometheus text format over HTTP together
+// with net/http/pprof (see Serve), plus a lightweight span tracer for
+// the page-fault service path (see Tracer and FaultPath).
+//
+// Design constraints, in order:
+//
+//  1. Observation, never side effects. Instruments draw no randomness,
+//     spawn no goroutines and take no locks on the hot path (atomics
+//     only), so enabling telemetry cannot perturb a deterministic
+//     simulation or reorder a fault schedule. Sim runs with telemetry
+//     on and off are bit-identical.
+//  2. Cheap enough for the fault path. A counter Add is one atomic CAS;
+//     a histogram Observe is a binary search over ~20 bucket bounds
+//     plus two CASes. No allocation after instrument creation.
+//  3. Stdlib only. The exposition format is the Prometheus text format,
+//     emitted by hand; no client library is vendored.
+//
+// Instruments are created through a Registry and cached by the caller:
+//
+//	var ops = telemetry.Default.Counter(
+//	    "oasis_memserver_ops_total", "Operations handled.", telemetry.L("op", "get_page"))
+//	ops.Inc()
+//
+// Registration is idempotent: asking for the same name with the same
+// label set returns the existing instrument, which is how independent
+// clients aggregate into shared process-wide series. Registering the
+// same name as a different instrument type panics (a programming
+// error). Metric and label names must match the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Default is the process-wide registry the daemons and instrumented
+// packages (memserver, memtap, agent, cluster) use. Tests that need
+// isolation create their own with NewRegistry.
+var Default = NewRegistry()
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind is the instrument type of a metric family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is the common interface of instrument implementations.
+type series interface {
+	// write renders the series' sample lines. name is the family name,
+	// labels the pre-rendered label block ("" or `{k="v",...}`).
+	write(w io.Writer, name, labels string)
+}
+
+// family is one named metric family holding all its labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64 // histograms only
+	series  map[string]series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. All methods are safe for concurrent use; instrument updates
+// (Add/Set/Observe) never touch the registry lock.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns (creating if needed) the counter with the given name
+// and labels. Counters only go up; use a Gauge for values that fall.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.instrument(kindCounter, name, help, nil, labels)
+	return s.(*Counter)
+}
+
+// Gauge returns (creating if needed) the gauge with the given name and
+// labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.instrument(kindGauge, name, help, nil, labels)
+	return s.(*Gauge)
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name, bucket upper bounds (sorted ascending; +Inf is implicit) and
+// labels. All series of one family share the first registration's
+// bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.instrument(kindHistogram, name, help, buckets, labels)
+	return s.(*Histogram)
+}
+
+func (r *Registry) instrument(k kind, name, help string, buckets []float64, labels []Label) series {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	key := renderLabels(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		if k == kindHistogram {
+			if len(buckets) == 0 {
+				buckets = DefBuckets
+			}
+			for i := 1; i < len(buckets); i++ {
+				if buckets[i] <= buckets[i-1] {
+					panic(fmt.Sprintf("telemetry: %s: bucket bounds not strictly ascending", name))
+				}
+			}
+		}
+		f = &family{name: name, help: help, kind: k, buckets: buckets, series: make(map[string]series)}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("telemetry: %s registered as %v, requested as %v", name, f.kind, k))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		switch k {
+		case kindCounter:
+			s = &Counter{}
+		case kindGauge:
+			s = &Gauge{}
+		case kindHistogram:
+			s = newHistogram(f.buckets)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// WritePrometheus renders every family in Prometheus text format,
+// including # HELP and # TYPE metadata, sorted by family name and label
+// signature. This is what the /metrics endpoint serves.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, "", true)
+}
+
+// WriteText renders the sample lines (no # metadata) of every family
+// whose name starts with prefix. CLI tools print their stats through
+// this, so their output and the /metrics scrape come from the same
+// renderer and cannot drift.
+func (r *Registry) WriteText(w io.Writer, prefix string) error {
+	return r.write(w, prefix, false)
+}
+
+func (r *Registry) write(w io.Writer, prefix string, meta bool) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	// Copy the series out under the lock — concurrent registration
+	// mutates the maps — then render outside it, reading only the
+	// instruments' atomics.
+	type labeled struct {
+		labels string
+		s      series
+	}
+	type fam struct {
+		name   string
+		help   string
+		kind   kind
+		series []labeled
+	}
+	fams := make([]fam, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		ls := make([]labeled, 0, len(f.series))
+		for k, s := range f.series {
+			ls = append(ls, labeled{k, s})
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i].labels < ls[j].labels })
+		fams = append(fams, fam{f.name, f.help, f.kind, ls})
+	}
+	r.mu.Unlock()
+
+	bw := &errWriter{w: w}
+	for _, fm := range fams {
+		if meta {
+			if fm.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", fm.name, escapeHelp(fm.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fm.name, fm.kind)
+		}
+		for _, l := range fm.series {
+			l.s.write(bw, fm.name, l.labels)
+		}
+	}
+	return bw.err
+}
+
+// errWriter latches the first write error so rendering can ignore
+// per-line errors.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+// renderLabels sorts labels by key and renders the `{k="v",...}` block
+// ("" for no labels).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelsWith re-renders a label block with one extra label appended —
+// used for histogram le labels.
+func labelsWith(block, key, value string) string {
+	extra := key + `="` + escapeValue(value) + `"`
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func escapeValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsStages(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("fault")
+	if sp == nil {
+		t.Fatal("Start with sampling 1 must return a live span")
+	}
+	sp.Stage("tap_lookup")
+	// Stand-in for work whose duration the client reports itself (wire
+	// round trip + decompress); StageDuration must not advance the stage
+	// clock, Mark must.
+	time.Sleep(40 * time.Millisecond)
+	sp.StageDuration("remote_fetch", 3*time.Millisecond)
+	sp.StageDuration("decompress", time.Millisecond)
+	sp.Mark()
+	sp.Stage("resolve")
+	sp.End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("Snapshot len = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Name != "fault" {
+		t.Errorf("Name = %q", rec.Name)
+	}
+	var names []string
+	for _, st := range rec.Stages {
+		names = append(names, st.Name)
+	}
+	want := []string{"tap_lookup", "remote_fetch", "decompress", "resolve"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("stages = %v, want %v", names, want)
+	}
+	if rec.Stages[1].Dur != 3*time.Millisecond {
+		t.Errorf("StageDuration not preserved: %v", rec.Stages[1].Dur)
+	}
+	// Mark advanced the stage clock past the slept-through window, so the
+	// final wall-clock stage must not re-count it.
+	if rec.Stages[3].Dur > 20*time.Millisecond {
+		t.Errorf("resolve stage %v double-counts time already attributed via StageDuration",
+			rec.Stages[3].Dur)
+	}
+	if rec.Total < 40*time.Millisecond {
+		t.Errorf("Total %v should cover the whole span", rec.Total)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("op")
+		sp.StageDuration("i", time.Duration(i))
+		sp.End()
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d, want 10", tr.Total())
+	}
+	recs := tr.Snapshot()
+	// Newest first: spans 9, 8, 7, 6.
+	for i, rec := range recs {
+		if got := rec.Stages[0].Dur; got != time.Duration(9-i) {
+			t.Errorf("Snapshot[%d] = span %d, want %d", i, got, 9-i)
+		}
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetSampling(4)
+	live := 0
+	for i := 0; i < 40; i++ {
+		if sp := tr.Start("op"); sp != nil {
+			live++
+			sp.End()
+		}
+	}
+	if live != 10 {
+		t.Errorf("sampling 1-in-4: %d live spans of 40, want 10", live)
+	}
+	tr.SetSampling(0)
+	if sp := tr.Start("op"); sp != nil {
+		t.Error("sampling 0 must disable tracing")
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var sp *Span // what a sampled-out Start returns
+	sp.Stage("a")
+	sp.StageDuration("b", time.Second)
+	sp.Mark()
+	sp.End() // must not panic
+}
+
+func TestTracerWriteText(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Start("fault")
+	sp.StageDuration("remote_fetch", 2*time.Millisecond)
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	for _, want := range []string{"fault", "total=", "remote_fetch=2ms"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("WriteText missing %q: %q", want, line)
+		}
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(32)
+	tr.SetSampling(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Start("op")
+				sp.Stage("s")
+				sp.End()
+				if i%100 == 0 {
+					tr.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 8*500/2 {
+		t.Errorf("Total = %d, want %d", tr.Total(), 8*500/2)
+	}
+}

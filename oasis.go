@@ -1,6 +1,7 @@
 package oasis
 
 import (
+	"io"
 	"time"
 
 	"oasis/internal/cluster"
@@ -13,6 +14,7 @@ import (
 	"oasis/internal/rng"
 	"oasis/internal/sim"
 	"oasis/internal/simtime"
+	"oasis/internal/telemetry"
 	"oasis/internal/trace"
 	"oasis/internal/units"
 	"oasis/internal/vm"
@@ -265,6 +267,48 @@ func EncodeImageDiff(im *Image, epoch uint64) (data []byte, pages int, err error
 
 // ApplySnapshot decodes a snapshot into an image.
 func ApplySnapshot(im *Image, data []byte) error { return pagestore.ApplySnapshot(im, data) }
+
+// ---- Telemetry (OBSERVABILITY.md) ----
+
+// MetricsRegistry is a live registry of counters, gauges and histograms.
+// Library components publish into the process-wide DefaultMetrics
+// registry; tests and embedders may construct their own with
+// NewMetricsRegistry and pass it via ResilienceConfig.Registry or
+// MemServer.SetMetricsRegistry.
+type MetricsRegistry = telemetry.Registry
+
+// MetricsServer is a running observability HTTP endpoint.
+type MetricsServer = telemetry.HTTPServer
+
+// DefaultMetrics returns the process-wide registry every component
+// publishes into by default.
+func DefaultMetrics() *MetricsRegistry { return telemetry.Default }
+
+// NewMetricsRegistry returns an empty, independent registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// ServeMetrics starts the observability endpoint (Prometheus /metrics,
+// fault-path /traces, /debug/pprof) on addr, serving the process
+// defaults. It is what the daemons' -metrics-addr flags call.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	return telemetry.Serve(addr, nil, nil)
+}
+
+// WriteMetricsText dumps the default registry's current values as
+// name{labels} value lines, keeping only metrics whose name begins with
+// prefix ("" for all). CLI tools print final statistics through this so
+// their output cannot drift from what /metrics scrapes report.
+func WriteMetricsText(w io.Writer, prefix string) error {
+	return telemetry.Default.WriteText(w, prefix)
+}
+
+// WriteFaultTraces writes the n most recent page-fault spans recorded in
+// this process (newest first; n <= 0 for all held), one line per span
+// with the per-stage latency split. The tracer lives in the process that
+// runs the memtap — a memserverd scrape shows only server-side metrics.
+func WriteFaultTraces(w io.Writer, n int) error {
+	return telemetry.FaultPath.WriteTextN(w, n)
+}
 
 // ---- Workload and trace generation (§5.1) ----
 
