@@ -31,6 +31,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed for synthetic page contents")
 		prefetch = flag.Bool("prefetch", false, "after touching, prefetch the remaining state (partial→full conversion, §4.4.4)")
 		retries  = flag.Int("retries", 8, "page-fetch attempts before the memtap reports the fault (riding out chaos downtime)")
+		pool     = flag.Int("pool", 1, "pooled memory-server connections for the memtap (1 keeps the serial client)")
+		streams  = flag.Int("prefetch-streams", 1, "pipelined prefetch batches in flight (<=1 is serial)")
 	)
 	flag.Parse()
 	if *secret == "" {
@@ -89,11 +91,15 @@ func main() {
 	// Create a partial VM from the descriptor and fault pages on demand
 	// through a real memtap.
 	desc := oasis.NewVMDescriptor(id, "memtapctl-demo", alloc, 1)
-	rc, err := oasis.DialMemServerResilient(*server, []byte(*secret), rcfg("memtap", *seed))
+	mcfg := rcfg("memtap", *seed)
+	mt, err := oasis.NewMemtapWithOptions(id, *server, []byte(*secret), oasis.MemtapOptions{
+		Resilience:      &mcfg,
+		PoolSize:        *pool,
+		PrefetchStreams: *streams,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mt := oasis.NewMemtapWithClient(id, rc)
 	defer mt.Close()
 	pvm, err := oasis.NewPartialVM(desc, mt)
 	if err != nil {

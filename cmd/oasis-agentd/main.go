@@ -26,6 +26,8 @@ func main() {
 		mem         = flag.String("mem", "127.0.0.1:8200", "memory server listen address")
 		secret      = flag.String("secret", "", "shared memory-server secret (required)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (empty disables); see OBSERVABILITY.md")
+		pool        = flag.Int("pool", 1, "pooled memory-server connections per inbound partial VM (1 keeps the serial client)")
+		streams     = flag.Int("prefetch-streams", 1, "pipelined prefetch batches in flight during partial→full conversion (<=1 is serial)")
 	)
 	flag.Parse()
 	if *secret == "" {
@@ -39,6 +41,7 @@ func main() {
 		log.Printf("oasis-agentd: telemetry on http://%s/metrics", ts.Addr())
 	}
 	a := agent.New(*name, []byte(*secret), log.Printf)
+	a.SetTransport(agent.TransportConfig{PoolSize: *pool, PrefetchStreams: *streams})
 	if err := a.Start(*rpc, *mem); err != nil {
 		log.Fatal(err)
 	}

@@ -7,9 +7,11 @@
 //	oasis-bench -runs 5              # average 5 simulation days per point
 //	oasis-bench -quick               # restricted sweeps for a fast pass
 //	oasis-bench -list                # list experiment identifiers
+//	oasis-bench -json BENCH_reattach.json   # transport benchmark as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "restrict sweeps for a fast pass")
 		list       = flag.Bool("list", false, "list experiment identifiers and exit")
 		outDir     = flag.String("out", "", "also write each report to <dir>/<id>.txt")
+		jsonOut    = flag.String("json", "", "run the reattach transport benchmark and write it as JSON to this path")
 	)
 	flag.Parse()
 
@@ -35,6 +38,25 @@ func main() {
 		return
 	}
 	opt := experiments.Option{Seed: *seed, Runs: *runs, Quick: *quick}
+
+	if *jsonOut != "" {
+		bench, err := experiments.Reattach(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (modeled pooled/serial speedup %.2fx)\n", *jsonOut, bench.Model.Speedup)
+		return
+	}
 
 	emit := func(r experiments.Report) {
 		fmt.Println(r.String())

@@ -35,16 +35,17 @@ func parsePolicy(s string) (oasis.Policy, error) {
 
 func main() {
 	var (
-		policy = flag.String("policy", "FulltoPartial", "OnlyPartial|Default|FulltoPartial|NewHome|FullOnly")
-		home   = flag.Int("home", 30, "home (compute) hosts")
-		cons   = flag.Int("cons", 4, "consolidation hosts")
-		vms    = flag.Int("vms", 30, "VMs per home host")
-		kind   = flag.String("kind", "weekday", "weekday|weekend")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		runs   = flag.Int("runs", 1, "days to simulate and average")
-		series = flag.Bool("series", false, "print the hourly active/powered series")
-		events = flag.Int("events", 0, "record and print the last N manager decisions")
-		msMTBF = flag.Duration("ms-mtbf", 0, "inject memory-server outages with this mean time between failures per serving server (0 disables)")
+		policy  = flag.String("policy", "FulltoPartial", "OnlyPartial|Default|FulltoPartial|NewHome|FullOnly")
+		home    = flag.Int("home", 30, "home (compute) hosts")
+		cons    = flag.Int("cons", 4, "consolidation hosts")
+		vms     = flag.Int("vms", 30, "VMs per home host")
+		kind    = flag.String("kind", "weekday", "weekday|weekend")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		runs    = flag.Int("runs", 1, "days to simulate and average")
+		series  = flag.Bool("series", false, "print the hourly active/powered series")
+		events  = flag.Int("events", 0, "record and print the last N manager decisions")
+		msMTBF  = flag.Duration("ms-mtbf", 0, "inject memory-server outages with this mean time between failures per serving server (0 disables)")
+		streams = flag.Int("prefetch-streams", 0, "model this many pipelined prefetch streams on the reattach path (<=1 keeps the serial transport)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address while the simulation runs (empty disables); see OBSERVABILITY.md")
 	)
@@ -72,6 +73,7 @@ func main() {
 	cfg.TraceSeed = *seed
 	cfg.Cluster.EventLogSize = *events
 	cfg.Cluster.MemServerMTBF = *msMTBF
+	cfg.Cluster.Model.PrefetchStreams = *streams
 	cfg.Kind = oasis.Weekday
 	if strings.ToLower(*kind) == "weekend" {
 		cfg.Kind = oasis.Weekend

@@ -117,7 +117,30 @@ type Agent struct {
 	peersMu sync.Mutex
 	peers   map[string]*wire.Client
 
+	// transport tunes the page-transport layer (connection pool width,
+	// pipelined prefetch depth) of every memtap this agent creates for
+	// inbound partial VMs.
+	transport TransportConfig
+
 	tel *agentTel
+}
+
+// TransportConfig tunes the parallel page-transport layer an agent gives
+// each inbound partial VM: PoolSize memory-server connections per memtap
+// (1 keeps the serial client) and PrefetchStreams pipelined batches
+// during partial→full conversion. Zero fields select the serial
+// defaults, preserving the pre-pooling behaviour.
+type TransportConfig struct {
+	PoolSize        int
+	PrefetchStreams int
+}
+
+// SetTransport configures the page-transport layer for partial VMs
+// received after the call; it does not retrofit memtaps already running.
+func (a *Agent) SetTransport(tc TransportConfig) {
+	a.mu.Lock()
+	a.transport = tc
+	a.mu.Unlock()
 }
 
 // New creates an agent. Start must be called before use.
@@ -500,7 +523,13 @@ func (a *Agent) handleReceivePartial(params json.RawMessage) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	mt, err := memtap.New(desc.VMID, args.MemAddr, a.secret)
+	a.mu.Lock()
+	tc := a.transport
+	a.mu.Unlock()
+	mt, err := memtap.NewWithOptions(desc.VMID, args.MemAddr, a.secret, memtap.Options{
+		PoolSize:        tc.PoolSize,
+		PrefetchStreams: tc.PrefetchStreams,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,97 @@
+package agent
+
+import (
+	"testing"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// TestPooledTransportPostCopy runs the post-copy flow with the parallel
+// page-transport layer turned on at the destination: faults and the
+// adoption prefetch travel over 4 pooled connections with 4 pipelined
+// streams, and the adopted VM must be byte-identical to the serial
+// outcome.
+func TestPooledTransportPostCopy(t *testing.T) {
+	m, agents := startHosts(t, 2)
+	src, dst := agents[0].Name, agents[1].Name
+	agents[1].SetTransport(TransportConfig{PoolSize: 4, PrefetchStreams: 4})
+
+	if err := m.CreateVMOn(src, CreateVMArgs{VMID: 31, Alloc: 4 * units.MiB}); err != nil {
+		t.Fatal(err)
+	}
+	for pfn := pagestore.PFN(100); pfn < 160; pfn++ {
+		if err := m.WritePage(src, 31, pfn, page(byte(pfn%250+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := m.host(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.host(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.client.Call("Agent.PostCopyMigrate", MigrateArgs{VMID: 31, Dest: d.addr}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.HostStats(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.VMs) != 1 || !st.VMs[0].Owner || st.VMs[0].Partial {
+		t.Fatalf("dst stats after pooled post-copy: %+v", st.VMs)
+	}
+	for pfn := pagestore.PFN(100); pfn < 160; pfn++ {
+		got, err := m.ReadPage(dst, 31, pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(pfn%250+1) {
+			t.Fatalf("pfn %d corrupted through pooled transport", pfn)
+		}
+	}
+	if agents[0].mem.Store().Len() != 0 {
+		t.Fatal("source memory server still holds an image")
+	}
+}
+
+// TestPooledTransportPartialLifecycle checks the on-demand fault path of
+// a partial VM whose agent runs the pooled transport, including
+// reintegration of dirty state.
+func TestPooledTransportPartialLifecycle(t *testing.T) {
+	m, agents := startHosts(t, 2)
+	for _, a := range agents {
+		a.SetTransport(TransportConfig{PoolSize: 2, PrefetchStreams: 2})
+	}
+	src, dst := agents[0].Name, agents[1].Name
+	if err := m.CreateVMOn(src, CreateVMArgs{VMID: 32, Alloc: 8 * units.MiB}); err != nil {
+		t.Fatal(err)
+	}
+	for pfn := pagestore.PFN(50); pfn < 60; pfn++ {
+		if err := m.WritePage(src, 32, pfn, page(byte(pfn))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.PartialMigrate(32, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadPage(dst, 32, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 55 {
+		t.Fatalf("faulted page = %x through pooled memtap", got[0])
+	}
+	if err := m.WritePage(dst, 32, 70, page(0xAB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reintegrate(32, dst, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err = m.ReadPage(src, 32, 70)
+	if err != nil || got[0] != 0xAB {
+		t.Fatalf("dirty state lost through pooled transport: %v %x", err, got[0])
+	}
+}

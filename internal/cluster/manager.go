@@ -195,13 +195,22 @@ func (c *Cluster) recordPartialDelay(v *vm.VM, bulkSiblings int) {
 	if transfer < 0 {
 		transfer = 0
 	}
+	latency := op.Latency.Seconds()
+	// The pipelined transport shortens the wire component of reattach;
+	// the fixed overhead (S3 resume, switch-over) is unaffected. Guarded
+	// so the serial configuration keeps its exact arithmetic.
+	if speed := c.Cfg.Model.PrefetchSpeedup(); speed > 1 {
+		scaled := transfer / speed
+		latency -= transfer - scaled
+		transfer = scaled
+	}
 	// In a bulk return the requester lands at a random position in the
 	// queue of its siblings' reintegrations, all over the home's link.
 	bulkWait := c.rand.Float64() * float64(bulkSiblings) * transfer
 	c.pendingDelays = append(c.pendingDelays, delayReq{
 		home:     v.Home,
 		instant:  c.Sim.Now().Seconds() + c.rand.Float64()*c.Cfg.ActivationSpread.Seconds(),
-		latency:  op.Latency.Seconds() + bulkWait,
+		latency:  latency + bulkWait,
 		transfer: transfer,
 	})
 }

@@ -90,6 +90,8 @@ func ByID(id string, opt Option) (Report, bool) {
 		return Fig12(opt), true
 	case "table3":
 		return Table3(opt), true
+	case "reattach":
+		return ReattachReport(opt), true
 	case "ab-diff":
 		return AblationDifferentialUpload(opt), true
 	case "ab-lzf":
@@ -115,6 +117,6 @@ func ByID(id string, opt Option) (Report, bool) {
 // the ablations.
 func IDs() []string {
 	return []string{"fig1", "fig2", "table1", "fig5", "traffic", "fig6",
-		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3", "reattach",
 		"ab-diff", "ab-lzf", "ab-shared", "ab-elide", "ab-place", "ab-order", "ab-headroom", "ab-power"}
 }

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestReattachBenchAcceptance pins the benchmark's gate: on the modeled
+// GigE testbed the pooled transport must move at least 2x the serial
+// pages/sec, and the measured loopback runs must both fully convert the
+// same VM.
+func TestReattachBenchAcceptance(t *testing.T) {
+	b, err := Reattach(DefaultOption())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Model.Speedup < 2 {
+		t.Fatalf("modeled pooled/serial speedup = %.2fx, want >= 2x", b.Model.Speedup)
+	}
+	if b.Model.PooledPagesPerSec < 2*b.Model.SerialPagesPerSec {
+		t.Fatalf("pooled %.0f pg/s not 2x serial %.0f pg/s",
+			b.Model.PooledPagesPerSec, b.Model.SerialPagesPerSec)
+	}
+	if b.Model.Pooled4GiBSec >= b.Model.Serial4GiBSec {
+		t.Fatal("pooled reattach not faster than serial in the model")
+	}
+	if len(b.Measured) != 2 {
+		t.Fatalf("measured %d transports, want serial and pooled", len(b.Measured))
+	}
+	serial, pooled := b.Measured[0], b.Measured[1]
+	if serial.PrefetchedPages != pooled.PrefetchedPages || serial.PrefetchedPages == 0 {
+		t.Fatalf("transports converted different page counts: %d vs %d",
+			serial.PrefetchedPages, pooled.PrefetchedPages)
+	}
+	for _, meas := range b.Measured {
+		if meas.FaultP50Micros <= 0 || meas.FaultP99Micros < meas.FaultP50Micros {
+			t.Errorf("%s: fault latency percentiles implausible: p50=%v p99=%v",
+				meas.Transport, meas.FaultP50Micros, meas.FaultP99Micros)
+		}
+		if meas.PrefetchPagesPerSec <= 0 {
+			t.Errorf("%s: no prefetch throughput measured", meas.Transport)
+		}
+	}
+}

@@ -89,18 +89,36 @@ func (vm *PartialVM) markPresent(pfn pagestore.PFN) {
 // Touch emulates a guest read access to a page. If the page is absent, it
 // faults: a frame is allocated and the pager supplies the contents. It
 // reports whether a fault occurred.
+//
+// The lock is NOT held across the pager call: a fetch crosses the network
+// and holding vm.mu for its duration would serialise every fault of the VM
+// behind one page's round trip (and deadlock against a prefetcher
+// installing into the same VM). Instead the fault path is
+// check → fetch unlocked → recheck-and-install. Two vCPUs faulting the
+// same page may therefore both reach the pager; the memtap's single-flight
+// layer collapses those into one remote fetch, and whichever Touch
+// reacquires the lock first installs. The loser observes the page present
+// and keeps the newer state, counting nothing — so faults and fetchedBytes
+// track pages actually installed by the fault path, never double-counting
+// a PFN.
 func (vm *PartialVM) Touch(pfn pagestore.PFN) (faulted bool, err error) {
 	if int64(pfn) >= vm.desc.Alloc.Pages() {
 		return false, fmt.Errorf("hypervisor: vm %04d: pfn %d out of range", vm.desc.VMID, pfn)
 	}
 	vm.mu.Lock()
-	defer vm.mu.Unlock()
 	if vm.isPresent(pfn) {
+		vm.mu.Unlock()
 		return false, nil
 	}
+	vm.mu.Unlock()
 	page, err := vm.pager.FetchPage(vm.desc.VMID, pfn)
 	if err != nil {
 		return true, fmt.Errorf("hypervisor: vm %04d: fetch pfn %d: %w", vm.desc.VMID, pfn, err)
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.isPresent(pfn) {
+		return true, nil // raced with another fault, install, or guest write
 	}
 	if err := vm.mem.Write(pfn, page); err != nil {
 		return true, err

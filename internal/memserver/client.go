@@ -203,41 +203,11 @@ func (c *Client) GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestor
 	if len(pfns) == 0 {
 		return map[pagestore.PFN][]byte{}, nil
 	}
-	req := make([]byte, 8, 8+8*len(pfns))
-	binary.BigEndian.PutUint32(req, uint32(id))
-	binary.BigEndian.PutUint32(req[4:], uint32(len(pfns)))
-	for _, pfn := range pfns {
-		req = binary.BigEndian.AppendUint64(req, uint64(pfn))
-	}
-	reply, err := c.roundTrip(msgGetPages, req, msgPages)
+	reply, err := c.roundTrip(msgGetPages, encodeGetPagesRequest(id, pfns), msgPages)
 	if err != nil {
 		return nil, err
 	}
-	if len(reply) < 4 {
-		return nil, errors.New("memserver: short batch reply")
-	}
-	n := int(binary.BigEndian.Uint32(reply))
-	out := make(map[pagestore.PFN][]byte, n)
-	off := 4
-	for i := 0; i < n; i++ {
-		if off+10 > len(reply) {
-			return nil, errors.New("memserver: truncated batch reply")
-		}
-		pfn := pagestore.PFN(binary.BigEndian.Uint64(reply[off:]))
-		token := binary.BigEndian.Uint16(reply[off+8:])
-		off += 10
-		bodyLen := pagestore.PageBodyLen(token)
-		if off+bodyLen > len(reply) {
-			return nil, errors.New("memserver: truncated batch page")
-		}
-		page, err := pagestore.DecodePage(token, reply[off:off+bodyLen])
-		if err != nil {
-			return nil, err
-		}
-		out[pfn] = page
-		off += bodyLen
-	}
-	return out, nil
+	return parsePagesReply(reply)
 }
 
 // PutImage uploads a full snapshot as a VM's image, replacing any prior

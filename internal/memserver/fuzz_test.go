@@ -1,0 +1,106 @@
+package memserver
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// FuzzGetPagesRequest holds two properties over the batch-request
+// framing: parse never panics on arbitrary bytes, and anything it accepts
+// re-encodes to the identical canonical payload (round trip).
+func FuzzGetPagesRequest(f *testing.F) {
+	f.Add(encodeGetPagesRequest(7, []pagestore.PFN{0, 1, 2, 99}))
+	f.Add(encodeGetPagesRequest(0, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // n overflowing the batch cap
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge[4:], maxBatchPages+1)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, pfns, err := parseGetPagesRequest(data)
+		if err != nil {
+			return
+		}
+		if len(pfns) > maxBatchPages {
+			t.Fatalf("parser accepted a batch of %d > %d pages", len(pfns), maxBatchPages)
+		}
+		if got := encodeGetPagesRequest(id, pfns); !bytes.Equal(got, data) {
+			t.Fatalf("request round trip diverged:\n in  %x\n out %x", data, got)
+		}
+	})
+}
+
+// FuzzPagesReply feeds arbitrary bytes to the batch-reply parser: it must
+// reject garbage gracefully, never panic, and only ever deliver
+// page-sized contents.
+func FuzzPagesReply(f *testing.F) {
+	// A well-formed reply as the seed: two real pages plus a zero page.
+	pageA := bytes.Repeat([]byte{0xAA}, int(units.PageSize))
+	pageB := make([]byte, units.PageSize)
+	copy(pageB, []byte("compressible compressible compressible"))
+	zero := make([]byte, units.PageSize)
+	good := make([]byte, 4)
+	binary.BigEndian.PutUint32(good, 3)
+	good = appendPageEntry(good, 4, pageA)
+	good = appendPageEntry(good, 9, pageB)
+	good = appendPageEntry(good, 13, zero)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})                   // count promises more than the payload holds
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2}) // absurd count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pages, err := parsePagesReply(data)
+		if err != nil {
+			return
+		}
+		for pfn, page := range pages {
+			if len(page) != int(units.PageSize) {
+				t.Fatalf("pfn %d: delivered %d-byte page", pfn, len(page))
+			}
+		}
+	})
+}
+
+// FuzzGetPagesRoundTrip drives the full encode→parse→serve→parse chain
+// with fuzzer-chosen PFNs and page contents: whatever pages go in must
+// come back out byte-identical through the batch framing.
+func FuzzGetPagesRoundTrip(f *testing.F) {
+	f.Add(uint64(1), []byte("hello page contents"))
+	f.Add(uint64(0), []byte{})
+	f.Add(uint64(500), bytes.Repeat([]byte{7}, 64))
+	f.Fuzz(func(t *testing.T, pfnRaw uint64, contents []byte) {
+		im := pagestore.NewImage(4 * units.MiB)
+		pfn := pagestore.PFN(pfnRaw % uint64(im.NumPages()))
+		if len(contents) > int(units.PageSize) {
+			contents = contents[:units.PageSize]
+		}
+		if err := im.Write(pfn, contents); err != nil {
+			t.Fatal(err)
+		}
+		want, err := im.Read(pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Request side.
+		id, pfns, err := parseGetPagesRequest(encodeGetPagesRequest(3, []pagestore.PFN{pfn}))
+		if err != nil || id != 3 || len(pfns) != 1 || pfns[0] != pfn {
+			t.Fatalf("request round trip: id=%d pfns=%v err=%v", id, pfns, err)
+		}
+		// Reply side, built the way the server builds it.
+		reply := make([]byte, 4)
+		binary.BigEndian.PutUint32(reply, 1)
+		reply = appendPageEntry(reply, pfn, want)
+		pages, err := parsePagesReply(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pages[pfn]; !bytes.Equal(got, want) {
+			t.Fatal("page contents diverged through batch framing")
+		}
+	})
+}

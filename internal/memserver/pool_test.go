@@ -1,0 +1,216 @@
+package memserver
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+func TestPoolBasicOps(t *testing.T) {
+	_, addr := startServer(t)
+	src, snap := makeSnapshot(t, 8*units.MiB, 11, 48)
+
+	cfg := PoolConfig{Size: 3, Resilience: fastResilient()}
+	p, err := DialPool(addr, testSecret, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+	if err := p.PutImage(7, 8*units.MiB, snap); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := src.Read(12)
+	got, err := p.GetPage(7, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("GetPage mismatch through pool")
+	}
+	pages, err := p.GetPages(7, []pagestore.PFN{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 4 {
+		t.Fatalf("GetPages returned %d pages", len(pages))
+	}
+	st, err := p.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VMs != 1 {
+		t.Fatalf("server sees %d VMs", st.VMs)
+	}
+	if got := p.BreakerState(); got != BreakerClosed {
+		t.Fatalf("aggregate breaker %v after healthy traffic", got)
+	}
+	if rs := p.ResilienceStats(); rs.Failures != 0 || rs.State != BreakerClosed {
+		t.Fatalf("unexpected resilience stats %+v", rs)
+	}
+}
+
+// TestPoolLeastLoadedDispatch pins the dispatch policy: with no load every
+// lane is drained round-robin-ish by least-inflight, and held acquisitions
+// spread across all lanes before any lane is doubled up.
+func TestPoolLeastLoadedDispatch(t *testing.T) {
+	p := NewPool(PoolConfig{Size: 4, Resilience: ResilientConfig{
+		Dialer: func() (*Client, error) { panic("no dialing in this test") },
+	}})
+	seen := make(map[int]int)
+	var held []int
+	for i := 0; i < 4; i++ {
+		lane := p.acquire()
+		seen[lane]++
+		held = append(held, lane)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("4 held acquisitions used %d lanes, want all 4 (dispatch convoyed)", len(seen))
+	}
+	// A fifth acquisition must double up on some lane, not fail.
+	lane := p.acquire()
+	if seen[lane] != 1 {
+		t.Fatalf("fifth acquisition landed on lane %d with inflight %d", lane, seen[lane])
+	}
+	p.release(lane)
+	for _, l := range held {
+		p.release(l)
+	}
+}
+
+// TestPoolAvoidsOpenLanes checks that dispatch routes around a lane whose
+// breaker is open while any healthy lane remains.
+func TestPoolAvoidsOpenLanes(t *testing.T) {
+	p := NewPool(PoolConfig{Size: 3, Resilience: ResilientConfig{
+		Dialer: func() (*Client, error) { panic("no dialing in this test") },
+	}})
+	p.laneStateChanged(1, BreakerOpen)
+	for i := 0; i < 16; i++ {
+		lane := p.acquire()
+		if lane == 1 {
+			t.Fatal("dispatched to a lane with an open breaker while healthy lanes exist")
+		}
+		p.release(lane)
+	}
+	// With every breaker open, dispatch must still hand out a lane so the
+	// caller gets the fail-fast (or rides the half-open probe).
+	p.laneStateChanged(0, BreakerOpen)
+	p.laneStateChanged(2, BreakerOpen)
+	lane := p.acquire()
+	p.release(lane)
+}
+
+// TestPoolAggregateBreaker proves the pool degrades only when every lane
+// is down, and that pool-level OnStateChange fires on aggregate
+// transitions — the contract memtap's degraded gauge depends on.
+func TestPoolAggregateBreaker(t *testing.T) {
+	rs := newRestartableServer(t)
+	_, snap := makeSnapshot(t, 4*units.MiB, 5, 16)
+
+	var transitions atomic.Int64
+	var lastTo atomic.Int32
+	cfg := fastResilient()
+	cfg.MaxRetries = 2
+	cfg.BreakerThreshold = 2
+	cfg.OnStateChange = func(from, to BreakerState) {
+		transitions.Add(1)
+		lastTo.Store(int32(to))
+	}
+	p, err := DialPool(rs.addr, testSecret, PoolConfig{Size: 2, Resilience: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.PutImage(9, 4*units.MiB, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	rs.kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for p.BreakerState() != BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never opened; lane states %v", p.LaneStates())
+		}
+		p.GetPage(9, 1) // errors expected; drive both lanes into failure
+	}
+	if BreakerState(lastTo.Load()) != BreakerOpen {
+		t.Fatalf("aggregate OnStateChange last reported %v, want open", BreakerState(lastTo.Load()))
+	}
+
+	// One lane recovering must close the aggregate again.
+	if err := rs.restart(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(cfg.BreakerCooldown + 10*time.Millisecond)
+	for p.BreakerState() != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never closed after restart; lane states %v", p.LaneStates())
+		}
+		p.GetPage(9, 1)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if transitions.Load() < 2 {
+		t.Fatalf("saw %d aggregate transitions, want >= 2 (open then closed)", transitions.Load())
+	}
+}
+
+// TestPoolConcurrentClients hammers one pool from many goroutines against
+// a live server; run under -race this checks the dispatch accounting and
+// per-lane serialization hold up.
+func TestPoolConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	src, snap := makeSnapshot(t, 8*units.MiB, 21, 64)
+	p, err := DialPool(addr, testSecret, PoolConfig{Size: 4, Resilience: fastResilient()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.PutImage(3, 8*units.MiB, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				pfn := pagestore.PFN((w*20 + i) % 64)
+				want, _ := src.Read(pfn)
+				var got []byte
+				var err error
+				if i%4 == 0 {
+					pages, perr := p.GetPages(3, []pagestore.PFN{pfn})
+					got, err = pages[pfn], perr
+				} else {
+					got, err = p.GetPage(3, pfn)
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("worker %d: pfn %d mismatch", w, pfn)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	for i, n := range p.inflight {
+		if n != 0 {
+			t.Errorf("lane %d inflight = %d after quiesce", i, n)
+		}
+	}
+	p.mu.Unlock()
+}

@@ -9,8 +9,11 @@ package memserver
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+
+	"oasis/internal/pagestore"
 )
 
 // Message types.
@@ -76,3 +79,83 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 type remoteError string
 
 func (e remoteError) Error() string { return "memserver: remote: " + string(e) }
+
+// GetPages batch framing. The encode/parse pairs below are the single
+// definition of the wire layout, shared by client and server (and
+// exercised directly by the fuzz tests in fuzz_test.go, which hold the
+// round-trip property and the no-panic-on-garbage property over them).
+//
+//	request: u32 vmid | u32 n | n x u64 pfn
+//	reply:   u32 n | n x (u64 pfn | u16 token | token-determined body)
+
+// encodeGetPagesRequest builds a msgGetPages payload.
+func encodeGetPagesRequest(id pagestore.VMID, pfns []pagestore.PFN) []byte {
+	req := make([]byte, 8, 8+8*len(pfns))
+	binary.BigEndian.PutUint32(req, uint32(id))
+	binary.BigEndian.PutUint32(req[4:], uint32(len(pfns)))
+	for _, pfn := range pfns {
+		req = binary.BigEndian.AppendUint64(req, uint64(pfn))
+	}
+	return req
+}
+
+// parseGetPagesRequest decodes a msgGetPages payload, enforcing the batch
+// ceiling and an exact length match (a short or oversized payload means a
+// confused or malicious peer, not a usable prefix).
+func parseGetPagesRequest(payload []byte) (pagestore.VMID, []pagestore.PFN, error) {
+	if len(payload) < 8 {
+		return 0, nil, errors.New("malformed GetPages")
+	}
+	id := pagestore.VMID(binary.BigEndian.Uint32(payload))
+	n := int(binary.BigEndian.Uint32(payload[4:]))
+	if n > maxBatchPages || n < 0 || len(payload) != 8+8*n {
+		return 0, nil, fmt.Errorf("malformed GetPages batch of %d", n)
+	}
+	pfns := make([]pagestore.PFN, n)
+	for i := 0; i < n; i++ {
+		pfns[i] = pagestore.PFN(binary.BigEndian.Uint64(payload[8+8*i:]))
+	}
+	return id, pfns, nil
+}
+
+// appendPageEntry appends one reply entry (pfn | token | encoded body)
+// for a page's raw contents.
+func appendPageEntry(out []byte, pfn pagestore.PFN, page []byte) []byte {
+	token, body := pagestore.EncodePage(page)
+	out = binary.BigEndian.AppendUint64(out, uint64(pfn))
+	out = binary.BigEndian.AppendUint16(out, token)
+	return append(out, body...)
+}
+
+// parsePagesReply decodes a msgPages payload into decompressed pages.
+// All-zero pages share one buffer that must not be modified.
+func parsePagesReply(reply []byte) (map[pagestore.PFN][]byte, error) {
+	if len(reply) < 4 {
+		return nil, errors.New("memserver: short batch reply")
+	}
+	n := int(binary.BigEndian.Uint32(reply))
+	if n < 0 || n > maxBatchPages {
+		return nil, fmt.Errorf("memserver: batch reply of %d pages exceeds limit", n)
+	}
+	out := make(map[pagestore.PFN][]byte, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		if off+10 > len(reply) {
+			return nil, errors.New("memserver: truncated batch reply")
+		}
+		pfn := pagestore.PFN(binary.BigEndian.Uint64(reply[off:]))
+		token := binary.BigEndian.Uint16(reply[off+8:])
+		off += 10
+		bodyLen := pagestore.PageBodyLen(token)
+		if bodyLen < 0 || off+bodyLen > len(reply) {
+			return nil, errors.New("memserver: truncated batch page")
+		}
+		page, err := pagestore.DecodePage(token, reply[off:off+bodyLen])
+		if err != nil {
+			return nil, err
+		}
+		out[pfn] = page
+		off += bodyLen
+	}
+	return out, nil
+}

@@ -330,14 +330,11 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
 		if !s.serving.Load() {
 			return fail(errors.New("daemon not serving (host awake)"))
 		}
-		if len(payload) < 8 {
-			return fail(errors.New("malformed GetPages"))
+		vmid, pfns, err := parseGetPagesRequest(payload)
+		if err != nil {
+			return fail(err)
 		}
-		vmid := pagestore.VMID(binary.BigEndian.Uint32(payload))
-		n := int(binary.BigEndian.Uint32(payload[4:]))
-		if len(payload) != 8+8*n || n > maxBatchPages {
-			return fail(fmt.Errorf("malformed GetPages batch of %d", n))
-		}
+		n := len(pfns)
 		s.tel.batchPages.Observe(float64(n))
 		im, err := s.store.Get(vmid)
 		if err != nil {
@@ -345,16 +342,12 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
 		}
 		out := make([]byte, 4, 4+n*64)
 		binary.BigEndian.PutUint32(out, uint32(n))
-		for i := 0; i < n; i++ {
-			pfn := pagestore.PFN(binary.BigEndian.Uint64(payload[8+8*i:]))
+		for _, pfn := range pfns {
 			page, err := im.Read(pfn)
 			if err != nil {
 				return fail(err)
 			}
-			token, body := pagestore.EncodePage(page)
-			out = binary.BigEndian.AppendUint64(out, uint64(pfn))
-			out = binary.BigEndian.AppendUint16(out, token)
-			out = append(out, body...)
+			out = appendPageEntry(out, pfn, page)
 		}
 		s.pagesServed.Add(int64(n))
 		s.bytesServed.Add(int64(len(out)))

@@ -162,6 +162,37 @@ func newResTel(r *telemetry.Registry, name string) *resTel {
 	}
 }
 
+// poolTel bundles the connection-pool instruments. They live in the same
+// oasis_client_* namespace (and carry the same client label) as the
+// per-lane resilience metrics, so one scrape shows a pool's dispatch rate
+// next to its lanes' retries and breaker state.
+type poolTel struct {
+	size       *telemetry.Gauge
+	inflight   *telemetry.Gauge
+	dispatches *telemetry.Counter
+	lanesOpen  *telemetry.Gauge
+}
+
+func newPoolTel(r *telemetry.Registry, name string) *poolTel {
+	if r == nil {
+		r = telemetry.Default
+	}
+	if name == "" {
+		name = "default"
+	}
+	l := telemetry.L("client", name)
+	return &poolTel{
+		size: r.Gauge("oasis_client_pool_size",
+			"Connections (lanes) in the client pool.", l),
+		inflight: r.Gauge("oasis_client_pool_inflight",
+			"Operations currently dispatched to pool lanes.", l),
+		dispatches: r.Counter("oasis_client_pool_dispatches_total",
+			"Operations dispatched through the pool.", l),
+		lanesOpen: r.Gauge("oasis_client_pool_lanes_open",
+			"Pool lanes whose circuit breaker is currently open.", l),
+	}
+}
+
 // decompressTel tracks client-side page decompression, the stage of the
 // fault path that is neither wire nor install time.
 var decompressSeconds = func() *telemetry.Histogram {

@@ -11,12 +11,20 @@
 // circuit breaker to open, the memtap reports the VM degraded so the host
 // agent can force-promote it home from the last good image (§4.4.4)
 // instead of wedging every guest fault.
+//
+// The fault path is concurrent: the hypervisor no longer serialises
+// faults behind one lock, so several vCPUs may fault simultaneously.
+// Memtap deduplicates concurrent faults on the same PFN (single-flight:
+// one remote fetch satisfies every waiter) and can spread traffic over a
+// connection pool (Options.PoolSize) with pipelined prefetch batches
+// (Options.PrefetchStreams); see DESIGN.md §9 for the concurrency model.
 package memtap
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oasis/internal/hypervisor"
@@ -38,6 +46,8 @@ var tel = struct {
 	latency     *telemetry.Histogram
 	prefetched  *telemetry.Counter
 	batches     *telemetry.Counter
+	dedup       *telemetry.Counter
+	inflight    *telemetry.Gauge
 }{
 	faults: telemetry.Default.Counter("oasis_memtap_faults_total",
 		"Page faults serviced from memory servers."),
@@ -51,6 +61,10 @@ var tel = struct {
 		"Pages installed by PrefetchRemaining (partial→full conversion)."),
 	batches: telemetry.Default.Counter("oasis_memtap_prefetch_batches_total",
 		"GetPages batches issued by PrefetchRemaining."),
+	dedup: telemetry.Default.Counter("oasis_memtap_singleflight_dedup_total",
+		"Concurrent faults coalesced onto an already in-flight fetch of the same PFN."),
+	inflight: telemetry.Default.Gauge("oasis_memtap_inflight_faults",
+		"Remote page fetches currently in flight (single-flight leaders)."),
 }
 
 // degradedGauge returns the per-VM degraded flag gauge (1 while the
@@ -68,8 +82,8 @@ func degradedGauge(vmid pagestore.VMID) *telemetry.Gauge {
 var ErrDegraded = errors.New("memtap: memory server unavailable, VM degraded")
 
 // PageClient is the slice of the memory-server client surface a memtap
-// needs. Both *memserver.Client and *memserver.ResilientClient satisfy
-// it; tests may supply in-process fakes.
+// needs. *memserver.Client, *memserver.ResilientClient and
+// *memserver.ClientPool all satisfy it; tests may supply in-process fakes.
 type PageClient interface {
 	GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error)
 	GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestore.PFN][]byte, error)
@@ -77,15 +91,16 @@ type PageClient interface {
 }
 
 // breakerReporter is implemented by clients that expose circuit-breaker
-// state (memserver.ResilientClient).
+// state (memserver.ResilientClient, memserver.ClientPool).
 type breakerReporter interface {
 	BreakerState() memserver.BreakerState
 }
 
 // stagedFetcher is implemented by clients that report the wire/decompress
-// stage split of a page fetch (memserver.Client, memserver.ResilientClient);
-// FetchPage uses it to attribute fault latency in telemetry.FaultPath
-// spans. Plain PageClients fall back to an undivided fetch stage.
+// stage split of a page fetch (memserver.Client, memserver.ResilientClient,
+// memserver.ClientPool); FetchPage uses it to attribute fault latency in
+// telemetry.FaultPath spans. Plain PageClients fall back to an undivided
+// fetch stage.
 type stagedFetcher interface {
 	GetPageStaged(id pagestore.VMID, pfn pagestore.PFN) (page []byte, wire, decompress time.Duration, err error)
 }
@@ -95,16 +110,61 @@ type stagedFetcher interface {
 // flags) before creating memtaps; tests shrink the backoffs.
 var DefaultResilience = memserver.ResilientConfig{}
 
+// Options tune the transport a memtap dials. The zero value reproduces
+// New's defaults: one resilient connection, serial prefetch.
+type Options struct {
+	// Resilience overrides DefaultResilience for this memtap's
+	// connection(s); nil uses DefaultResilience.
+	Resilience *memserver.ResilientConfig
+	// PoolSize > 1 dials a memserver.ClientPool of that many connections
+	// instead of a single ResilientClient, letting concurrent faults and
+	// pipelined prefetch batches genuinely overlap on the wire.
+	PoolSize int
+	// PrefetchStreams is the number of GetPages batches PrefetchRemaining
+	// keeps in flight (<= 1 means strictly serial batches). Values above
+	// PoolSize waste goroutines — batches would queue on lanes — so
+	// agents plumb the same knob into both.
+	PrefetchStreams int
+}
+
+// fetchCall is one in-flight remote fetch; followers wait on done and
+// share the leader's result.
+type fetchCall struct {
+	done chan struct{}
+	page []byte
+	err  error
+}
+
 // Memtap services page faults for one partial VM from one memory server.
 // It is safe for concurrent use.
 type Memtap struct {
 	vmid   pagestore.VMID
 	client PageClient
 
-	mu      sync.Mutex
-	faults  int64
-	bytes   units.Bytes
+	// Fault accounting is atomic: concurrent faults and prefetch streams
+	// update these on the hot path without sharing a lock.
+	faults atomic.Int64
+	bytes  atomic.Int64
+	dedup  atomic.Int64
+
+	latMu   sync.Mutex
 	latency metrics.Sample
+
+	// inflight implements single-flight deduplication per PFN: the first
+	// fault (the leader) fetches; concurrent faults on the same PFN wait
+	// for its result instead of issuing duplicate remote fetches.
+	sfMu     sync.Mutex
+	inflight map[pagestore.PFN]*fetchCall
+
+	prefetchStreams atomic.Int32
+}
+
+func newMemtap(vmid pagestore.VMID, client PageClient) *Memtap {
+	return &Memtap{
+		vmid:     vmid,
+		client:   client,
+		inflight: make(map[pagestore.PFN]*fetchCall),
+	}
 }
 
 // New creates a memtap for the given VM, dialing the memory server at
@@ -113,13 +173,24 @@ type Memtap struct {
 // configures each memtap with the host and port of the memory server
 // containing the VM's pages (§4.2).
 func New(vmid pagestore.VMID, addr string, secret []byte) (*Memtap, error) {
+	return NewWithOptions(vmid, addr, secret, Options{})
+}
+
+// NewWithOptions is New with transport tuning: a connection pool and/or
+// pipelined prefetch (see Options).
+func NewWithOptions(vmid pagestore.VMID, addr string, secret []byte, opts Options) (*Memtap, error) {
 	cfg := DefaultResilience
+	if opts.Resilience != nil {
+		cfg = *opts.Resilience
+	}
 	cfg.JitterSeed ^= uint64(vmid) // de-correlate backoff across a host's memtaps
 	if cfg.Name == "" {
 		cfg.Name = "memtap"
 	}
 	// Mirror breaker transitions into the per-VM degraded gauge without
-	// displacing a caller-supplied hook.
+	// displacing a caller-supplied hook. For a pool this hook is lifted to
+	// the aggregate breaker, so the gauge rises only when every lane is
+	// down — exactly when the VM is actually degraded.
 	gauge := degradedGauge(vmid)
 	inner := cfg.OnStateChange
 	cfg.OnStateChange = func(from, to memserver.BreakerState) {
@@ -132,23 +203,52 @@ func New(vmid pagestore.VMID, addr string, secret []byte) (*Memtap, error) {
 			inner(from, to)
 		}
 	}
-	client, err := memserver.DialResilient(addr, secret, cfg)
+	var client PageClient
+	var err error
+	if opts.PoolSize > 1 {
+		client, err = memserver.DialPool(addr, secret, memserver.PoolConfig{
+			Size:       opts.PoolSize,
+			Resilience: cfg,
+		})
+	} else {
+		client, err = memserver.DialResilient(addr, secret, cfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("memtap: vm %04d: %w", vmid, err)
 	}
-	return &Memtap{vmid: vmid, client: client}, nil
+	m := newMemtap(vmid, client)
+	m.SetPrefetchStreams(opts.PrefetchStreams)
+	return m, nil
 }
 
 // NewWithClient wraps an existing client (used by tests and by agents
 // that pool connections or need custom resilience settings).
 func NewWithClient(vmid pagestore.VMID, client PageClient) *Memtap {
-	return &Memtap{vmid: vmid, client: client}
+	return newMemtap(vmid, client)
+}
+
+// SetPrefetchStreams sets how many GetPages batches PrefetchRemaining
+// keeps in flight; values <= 1 mean strictly serial batches.
+func (m *Memtap) SetPrefetchStreams(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.prefetchStreams.Store(int32(n))
+}
+
+// PrefetchStreams returns the configured prefetch pipeline depth (>= 1).
+func (m *Memtap) PrefetchStreams() int {
+	if n := m.prefetchStreams.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
 }
 
 // Degraded reports whether the memory-server path is unavailable: the
-// resilient client's circuit breaker is open, so guest faults cannot be
-// serviced and the agent should promote or quarantine the VM (§4.4.4).
-// Memtaps over non-resilient clients never report degraded.
+// resilient client's circuit breaker is open (for a pool: every lane's
+// breaker is open), so guest faults cannot be serviced and the agent
+// should promote or quarantine the VM (§4.4.4). Memtaps over
+// non-resilient clients never report degraded.
 func (m *Memtap) Degraded() bool {
 	if br, ok := m.client.(breakerReporter); ok {
 		return br.BreakerState() == memserver.BreakerOpen
@@ -157,7 +257,7 @@ func (m *Memtap) Degraded() bool {
 }
 
 // Resilience snapshots the client's retry/reconnect/breaker counters
-// (zero value for non-resilient clients).
+// (zero value for non-resilient clients; summed across lanes for pools).
 func (m *Memtap) Resilience() memserver.ResilienceStats {
 	if rc, ok := m.client.(interface {
 		ResilienceStats() memserver.ResilienceStats
@@ -167,17 +267,49 @@ func (m *Memtap) Resilience() memserver.ResilienceStats {
 	return memserver.ResilienceStats{}
 }
 
-// FetchPage implements hypervisor.Pager. Each fault feeds the live
-// latency histogram and (sampled) a telemetry.FaultPath span with the
-// stage breakdown fault → tap_lookup → remote_fetch → decompress →
-// resolve.
+// FetchPage implements hypervisor.Pager. Concurrent faults on the same
+// PFN are deduplicated single-flight: the first caller (the leader)
+// performs the remote fetch; the rest wait and share its page and error.
+// Only the leader's fetch is counted in Faults/FetchedBytes — the page is
+// installed once, so the accounting stays exact — while coalesced waiters
+// tick the dedup counter. Each leader fault feeds the live latency
+// histogram and (sampled) a telemetry.FaultPath span with the stage
+// breakdown fault → tap_lookup → remote_fetch → decompress → resolve.
 func (m *Memtap) FetchPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
-	start := time.Now()
-	span := telemetry.FaultPath.Start("fault")
 	if id != m.vmid {
-		span.End()
 		return nil, fmt.Errorf("memtap: configured for vm %04d, asked for %04d", m.vmid, id)
 	}
+	m.sfMu.Lock()
+	if c, ok := m.inflight[pfn]; ok {
+		m.sfMu.Unlock()
+		m.dedup.Add(1)
+		tel.dedup.Inc()
+		<-c.done
+		return c.page, c.err
+	}
+	c := &fetchCall{done: make(chan struct{})}
+	m.inflight[pfn] = c
+	m.sfMu.Unlock()
+	tel.inflight.Inc()
+
+	c.page, c.err = m.fetchRemote(id, pfn)
+
+	// Deregister before waking the waiters: a fault arriving after this
+	// point starts a fresh fetch (the page may have been evicted again),
+	// while every waiter that joined this call gets this result.
+	m.sfMu.Lock()
+	delete(m.inflight, pfn)
+	m.sfMu.Unlock()
+	tel.inflight.Dec()
+	close(c.done)
+	return c.page, c.err
+}
+
+// fetchRemote performs one remote page fetch with tracing and accounting
+// (the single-flight leader's path).
+func (m *Memtap) fetchRemote(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
+	start := time.Now()
+	span := telemetry.FaultPath.Start("fault")
 	span.Stage("tap_lookup")
 
 	var page []byte
@@ -200,44 +332,49 @@ func (m *Memtap) FetchPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error)
 		}
 		return nil, err
 	}
-	m.mu.Lock()
-	m.faults++
-	m.bytes += units.PageSize
-	m.latency.Add(time.Since(start).Seconds())
-	m.mu.Unlock()
+	m.faults.Add(1)
+	m.bytes.Add(int64(units.PageSize))
+	elapsed := time.Since(start).Seconds()
+	m.latMu.Lock()
+	m.latency.Add(elapsed)
+	m.latMu.Unlock()
 	tel.faults.Inc()
 	tel.bytes.Add(float64(units.PageSize))
-	tel.latency.Observe(time.Since(start).Seconds())
+	tel.latency.Observe(elapsed)
 	span.Stage("resolve")
 	span.End()
 	return page, nil
 }
 
-// Faults returns the number of faults serviced.
-func (m *Memtap) Faults() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.faults
-}
+// Faults returns the number of remote fetches that serviced faults
+// (coalesced waiters are not double-counted; see DedupedFaults).
+func (m *Memtap) Faults() int64 { return m.faults.Load() }
+
+// DedupedFaults returns how many concurrent faults were coalesced onto an
+// already in-flight fetch of the same PFN.
+func (m *Memtap) DedupedFaults() int64 { return m.dedup.Load() }
 
 // FetchedBytes returns the uncompressed bytes actually installed into the
 // VM (on-demand faults plus prefetch installs; pages the prefetcher lost
 // a race for are not counted).
-func (m *Memtap) FetchedBytes() units.Bytes {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.bytes
-}
+func (m *Memtap) FetchedBytes() units.Bytes { return units.Bytes(m.bytes.Load()) }
 
 // MeanLatency returns the mean fault-service latency.
 func (m *Memtap) MeanLatency() time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.latMu.Lock()
+	defer m.latMu.Unlock()
 	return time.Duration(m.latency.Mean() * float64(time.Second))
 }
 
 // Close releases the connection to the memory server.
 func (m *Memtap) Close() error { return m.client.Close() }
+
+// prefetchResult carries one batch back from the wire to the installer.
+type prefetchResult struct {
+	pfns  []pagestore.PFN
+	pages map[pagestore.PFN][]byte
+	err   error
+}
 
 // PrefetchRemaining streams every absent page of the partial VM from the
 // memory server in batches, converting it into a full VM (§4.4.4: when a
@@ -245,46 +382,90 @@ func (m *Memtap) Close() error { return m.client.Close() }
 // let the user suffer on-demand latency). Pages the guest faults or
 // writes concurrently are left untouched. It returns the number of pages
 // installed.
+//
+// With PrefetchStreams > 1 the batches are pipelined: up to that many
+// GetPages requests ride the wire concurrently (spread over the pool's
+// lanes) and batch k installs while batch k+1 is still in flight, hiding
+// install time behind transfer time. Over a pool of size >= streams the
+// batches also genuinely overlap on the network.
 func (m *Memtap) PrefetchRemaining(vm *hypervisor.PartialVM, batch int) (int, error) {
 	if batch <= 0 {
 		batch = 512
 	}
+	streams := m.PrefetchStreams()
 	installed := 0
 	for {
-		pfns := vm.AbsentPages(batch)
+		pfns := vm.AbsentPages(batch * streams)
 		if len(pfns) == 0 {
 			return installed, nil
 		}
-		pages, err := m.client.GetPages(m.vmid, pfns)
-		tel.batches.Inc()
-		if err != nil {
-			if errors.Is(err, memserver.ErrCircuitOpen) || m.Degraded() {
-				err = fmt.Errorf("%w: %w", ErrDegraded, err)
+		// Fan the round's work out as up to `streams` concurrent batches;
+		// install each batch as it lands, overlapping the ones still on
+		// the wire.
+		results := make(chan prefetchResult, streams)
+		nchunks := 0
+		for start := 0; start < len(pfns); start += batch {
+			end := start + batch
+			if end > len(pfns) {
+				end = len(pfns)
 			}
-			return installed, fmt.Errorf("memtap: prefetch vm %04d: %w", m.vmid, err)
+			chunk := pfns[start:end]
+			nchunks++
+			go func(chunk []pagestore.PFN) {
+				pages, err := m.client.GetPages(m.vmid, chunk)
+				tel.batches.Inc()
+				results <- prefetchResult{pfns: chunk, pages: pages, err: err}
+			}(chunk)
 		}
-		var batchBytes units.Bytes
-		for _, pfn := range pfns {
-			page, ok := pages[pfn]
-			if !ok {
-				return installed, fmt.Errorf("memtap: prefetch vm %04d: server omitted pfn %d", m.vmid, pfn)
+		var firstErr error
+		for i := 0; i < nchunks; i++ {
+			r := <-results // always drain: no goroutine leaks on error
+			if firstErr != nil {
+				continue
 			}
-			ok, err := vm.Install(pfn, page)
+			if r.err != nil {
+				err := r.err
+				if errors.Is(err, memserver.ErrCircuitOpen) || m.Degraded() {
+					err = fmt.Errorf("%w: %w", ErrDegraded, err)
+				}
+				firstErr = fmt.Errorf("memtap: prefetch vm %04d: %w", m.vmid, err)
+				continue
+			}
+			n, err := m.installBatch(vm, r.pfns, r.pages)
+			installed += n
 			if err != nil {
-				return installed, err
-			}
-			if ok {
-				// Only pages actually installed count toward
-				// FetchedBytes; installs that lose the race to a
-				// concurrent fault or guest write are dropped.
-				installed++
-				batchBytes += units.PageSize
+				firstErr = err
 			}
 		}
-		m.mu.Lock()
-		m.bytes += batchBytes
-		m.mu.Unlock()
+		if firstErr != nil {
+			return installed, firstErr
+		}
+	}
+}
+
+// installBatch installs one fetched batch into the VM, counting only the
+// pages actually installed (installs that lose the race to a concurrent
+// fault or guest write are dropped from the accounting).
+func (m *Memtap) installBatch(vm *hypervisor.PartialVM, pfns []pagestore.PFN, pages map[pagestore.PFN][]byte) (installed int, err error) {
+	var batchBytes units.Bytes
+	defer func() {
+		m.bytes.Add(int64(batchBytes))
 		tel.bytes.Add(float64(batchBytes))
 		tel.prefetched.Add(float64(batchBytes / units.PageSize))
+	}()
+	for _, pfn := range pfns {
+		page, ok := pages[pfn]
+		if !ok {
+			return installed, fmt.Errorf("memtap: prefetch vm %04d: server omitted pfn %d", m.vmid, pfn)
+		}
+		ok, err := vm.Install(pfn, page)
+		if err != nil {
+			return installed, err
+		}
+		if ok {
+			installed++
+			batchBytes += units.PageSize
+		}
 	}
+	return installed, nil
 }

@@ -2,41 +2,69 @@ package pagestore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"oasis/internal/units"
 )
 
+// storeShards is the number of independently locked shards a Store
+// spreads its VMs over. A power of two keeps the index computation a
+// mask; 16 shards is comfortably above the concurrency of one memory
+// server's accept loop, so concurrent page requests for different VMs
+// never convoy on a single lock.
+const storeShards = 16
+
 // Store is a set of VM images keyed by VMID — the state a memory server
 // holds on its shared drive for the partial VMs of its host. Store is safe
-// for concurrent use.
+// for concurrent use; the map is sharded by VMID so that lookups for
+// different VMs (the server's common case: one connection per memtap, each
+// serving a different guest) proceed without contending on one RWMutex.
+// Pages within an Image carry their own lock.
 type Store struct {
+	shards [storeShards]storeShard
+}
+
+type storeShard struct {
 	mu     sync.RWMutex
 	images map[VMID]*Image
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{images: make(map[VMID]*Image)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].images = make(map[VMID]*Image)
+	}
+	return s
+}
+
+// shard maps a VMID to its shard. Fibonacci hashing spreads the
+// small sequential IDs tests and the sim hand out; the multiplier is
+// 2^32/phi.
+func (s *Store) shard(id VMID) *storeShard {
+	return &s.shards[(uint32(id)*0x9E3779B1)>>28&(storeShards-1)]
 }
 
 // Create adds an empty image for a VM. It fails if the VM already exists.
 func (s *Store) Create(id VMID, alloc units.Bytes) (*Image, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.images[id]; ok {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.images[id]; ok {
 		return nil, fmt.Errorf("pagestore: vm %04d already exists", id)
 	}
 	im := NewImage(alloc)
-	s.images[id] = im
+	sh.images[id] = im
 	return im, nil
 }
 
 // Get returns the image for a VM, or an error if unknown.
 func (s *Store) Get(id VMID) (*Image, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	im, ok := s.images[id]
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	im, ok := sh.images[id]
 	if !ok {
 		return nil, fmt.Errorf("pagestore: unknown vm %04d", id)
 	}
@@ -45,44 +73,58 @@ func (s *Store) Get(id VMID) (*Image, error) {
 
 // Put installs (or replaces) an image for a VM.
 func (s *Store) Put(id VMID, im *Image) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.images[id] = im
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.images[id] = im
 }
 
 // Delete removes a VM's image, releasing its memory. Deleting an unknown
 // VM is a no-op: the caller is expressing "make sure it is gone".
 func (s *Store) Delete(id VMID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.images, id)
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.images, id)
 }
 
-// IDs returns the VMIDs present in the store.
+// IDs returns the VMIDs present in the store, sorted ascending.
 func (s *Store) IDs() []VMID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]VMID, 0, len(s.images))
-	for id := range s.images {
-		out = append(out, id)
+	var out []VMID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.images {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Len returns the number of images held.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.images)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.images)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // TotalTouched returns the total resident bytes across all images.
 func (s *Store) TotalTouched() units.Bytes {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var total units.Bytes
-	for _, im := range s.images {
-		total += im.TouchedBytes()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, im := range sh.images {
+			total += im.TouchedBytes()
+		}
+		sh.mu.RUnlock()
 	}
 	return total
 }

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"oasis/internal/cluster"
+	"oasis/internal/trace"
+)
+
+func runStreams(t *testing.T, streams int, seed uint64) *Result {
+	t.Helper()
+	cc := cluster.DefaultConfig()
+	cc.Policy = cluster.FulltoPartial
+	cc.Model.PrefetchStreams = streams
+	r, err := Run(Config{Cluster: cc, Kind: trace.Weekday, TraceSeed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestPrefetchStreamsDeterministic is the acceptance check for the sim
+// side of the pipelined transport: a seeded day with pooling enabled must
+// be bit-identical run to run — the speedup scaling must not perturb the
+// random streams or introduce nondeterministic arithmetic.
+func TestPrefetchStreamsDeterministic(t *testing.T) {
+	a := runStreams(t, 4, 42)
+	b := runStreams(t, 4, 42)
+	if a.SavingsPct != b.SavingsPct || a.OasisJoules != b.OasisJoules ||
+		a.BaselineJoules != b.BaselineJoules {
+		t.Fatalf("same seed with pooling, different energy: %.6f vs %.6f",
+			a.OasisJoules, b.OasisJoules)
+	}
+	for i := range a.PoweredSeries {
+		if a.PoweredSeries[i] != b.PoweredSeries[i] || a.ActiveSeries[i] != b.ActiveSeries[i] {
+			t.Fatalf("series diverge at interval %d", i)
+		}
+	}
+	if a.Stats.DelaySample.N() != b.Stats.DelaySample.N() ||
+		a.Stats.DelaySample.Mean() != b.Stats.DelaySample.Mean() ||
+		a.Stats.DelaySample.Max() != b.Stats.DelaySample.Max() {
+		t.Fatal("delay distributions diverge between identical pooled runs")
+	}
+}
+
+// TestSerialStreamsUnchanged guards the seed behavior: configuring one
+// stream (or leaving the field zero) must yield exactly the pre-pooling
+// arithmetic — the speedup path is only allowed to touch runs that ask
+// for it.
+func TestSerialStreamsUnchanged(t *testing.T) {
+	zero := runStreams(t, 0, 42)
+	one := runStreams(t, 1, 42)
+	if zero.OasisJoules != one.OasisJoules || zero.SavingsPct != one.SavingsPct {
+		t.Fatalf("streams=0 vs streams=1 differ: %.6f vs %.6f J",
+			zero.OasisJoules, one.OasisJoules)
+	}
+	if zero.Stats.DelaySample.Mean() != one.Stats.DelaySample.Mean() {
+		t.Fatal("streams=1 changed the delay distribution")
+	}
+}
+
+// TestPrefetchStreamsShortenDelays checks the modeled effect: pipelined
+// reattach shrinks transition delays (the wire component halves with the
+// default install fraction) without touching placement — the powered and
+// active series must be identical to the serial run, because transfer
+// delays feed only the latency statistics.
+func TestPrefetchStreamsShortenDelays(t *testing.T) {
+	serial := runStreams(t, 1, 42)
+	pooled := runStreams(t, 4, 42)
+	for i := range serial.PoweredSeries {
+		if serial.PoweredSeries[i] != pooled.PoweredSeries[i] {
+			t.Fatalf("pooling changed placement: powered series diverges at %d", i)
+		}
+		if serial.ActiveSeries[i] != pooled.ActiveSeries[i] {
+			t.Fatalf("pooling changed activity: active series diverges at %d", i)
+		}
+	}
+	if serial.OasisJoules != pooled.OasisJoules {
+		t.Fatalf("pooling changed energy: %.6f vs %.6f J",
+			serial.OasisJoules, pooled.OasisJoules)
+	}
+	sm, pm := serial.Stats.DelaySample.Mean(), pooled.Stats.DelaySample.Mean()
+	if pm >= sm {
+		t.Fatalf("pooled mean delay %.3fs not below serial %.3fs", pm, sm)
+	}
+	if sMax, pMax := serial.Stats.DelaySample.Max(), pooled.Stats.DelaySample.Max(); pMax >= sMax {
+		t.Fatalf("pooled max delay %.3fs not below serial %.3fs", pMax, sMax)
+	}
+}

@@ -1,0 +1,20 @@
+// Package stress holds cross-layer race and stress tests for the
+// parallel page-transport layer: the memserver connection pool, memtap's
+// single-flight fault deduplication, and pipelined prefetch, all driven
+// through faultinject chaos (connection resets mid-batch, torn frames,
+// slow dials) with dozens of concurrent goroutines.
+//
+// The package contains no production code — only tests. It exists as its
+// own package so the whole transport stack is exercised through public
+// APIs exactly as the agent uses them, and so CI can run it under the
+// race detector as one named target (see .github/workflows/ci.yml).
+//
+// The invariants under test:
+//
+//   - no duplicate installs: every pageable page is installed exactly
+//     once, whether by a fault winner or a prefetch stream;
+//   - no lost waiters: every goroutine parked on an in-flight fault is
+//     woken with the page or the leader's error;
+//   - exact accounting: memtap and hypervisor byte/fault counters agree
+//     with each other and with the number of pages actually moved.
+package stress

@@ -225,6 +225,33 @@ func NewMemtapWithClient(vmid VMID, client memtap.PageClient) *Memtap {
 	return memtap.NewWithClient(vmid, client)
 }
 
+// MemClientPool fans memory-server requests across several authenticated
+// connections, each wrapped in the resilient retry/backoff/breaker layer;
+// independent requests proceed in parallel while each connection keeps
+// its strict request/response serialization (DESIGN.md §9).
+type MemClientPool = memserver.ClientPool
+
+// MemPoolConfig sizes a MemClientPool and tunes its per-connection
+// resilience; the zero value selects defaults.
+type MemPoolConfig = memserver.PoolConfig
+
+// DialMemServerPool connects a pool of resilient clients to a memory
+// server. The zero config selects defaults (4 connections).
+func DialMemServerPool(addr string, secret []byte, cfg MemPoolConfig) (*MemClientPool, error) {
+	return memserver.DialPool(addr, secret, cfg)
+}
+
+// MemtapOptions tunes a memtap's transport: connection-pool width,
+// pipelined prefetch depth, and per-connection resilience.
+type MemtapOptions = memtap.Options
+
+// NewMemtapWithOptions dials the memory server with the configured
+// transport: PoolSize > 1 fans faults and prefetch batches across pooled
+// connections; PrefetchStreams > 1 pipelines partial→full conversion.
+func NewMemtapWithOptions(vmid VMID, addr string, secret []byte, opts MemtapOptions) (*Memtap, error) {
+	return memtap.NewWithOptions(vmid, addr, secret, opts)
+}
+
 // VMDescriptor is the metadata pushed to a destination host to create a
 // partial VM: sizing, page tables, execution context (§4.2).
 type VMDescriptor = hypervisor.Descriptor
