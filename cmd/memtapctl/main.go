@@ -33,6 +33,7 @@ func main() {
 		retries  = flag.Int("retries", 8, "page-fetch attempts before the memtap reports the fault (riding out chaos downtime)")
 		pool     = flag.Int("pool", 1, "pooled memory-server connections for the memtap (1 keeps the serial client)")
 		streams  = flag.Int("prefetch-streams", 1, "pipelined prefetch batches in flight (<=1 is serial)")
+		upStream = flag.Int("upload-streams", 1, "parallel encode shards and chunked upload streams for the image/diff uploads (<=1 is serial)")
 	)
 	flag.Parse()
 	if *secret == "" {
@@ -72,21 +73,40 @@ func main() {
 
 	// Upload the image (the host's pre-suspend upload, §4.3) over a
 	// resilient client: uploads are idempotent, so retries are safe.
+	// With -upload-streams > 1 the encode shards across that many workers
+	// and the snapshot streams as chunks over a connection pool (§4.3's
+	// detach pipeline); the server-side image is identical either way.
 	client, err := oasis.DialMemServerResilient(*server, []byte(*secret), rcfg("upload", *seed+1))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	snap, n, err := oasis.EncodeImage(im)
+	var upPool *oasis.MemClientPool
+	if *upStream > 1 {
+		upPool, err = oasis.DialMemServerPool(*server, []byte(*secret), oasis.MemPoolConfig{
+			Size:       *upStream,
+			Resilience: rcfg("upload-pool", *seed+2),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer upPool.Close()
+	}
+	snap, n, err := oasis.EncodeImageParallel(im, *upStream)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	if err := client.PutImage(id, alloc, snap); err != nil {
+	if upPool != nil {
+		err = upPool.StreamImage(id, alloc, snap, oasis.UploadOptions{Streams: *upStream})
+	} else {
+		err = client.PutImage(id, alloc, snap)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("uploaded image: %d pages, %d bytes compressed (%.1fx) in %v\n",
-		n, len(snap), float64(n)*float64(oasis.PageSize)/float64(len(snap)), time.Since(start))
+	fmt.Printf("uploaded image: %d pages, %d bytes compressed (%.1fx) in %v (%d upload streams)\n",
+		n, len(snap), float64(n)*float64(oasis.PageSize)/float64(len(snap)), time.Since(start), max(*upStream, 1))
 
 	// Create a partial VM from the descriptor and fault pages on demand
 	// through a real memtap.
@@ -155,11 +175,16 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	diff, dn, err := oasis.EncodeImageDiff(im, epoch)
+	diff, dn, err := oasis.EncodeImageDiffParallel(im, epoch, *upStream)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := client.PutDiff(id, diff); err != nil {
+	if upPool != nil {
+		err = upPool.StreamDiff(id, diff, oasis.UploadOptions{Streams: *upStream})
+	} else {
+		err = client.PutDiff(id, diff)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("differential upload: %d dirty pages, %d bytes\n", dn, len(diff))

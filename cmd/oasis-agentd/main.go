@@ -28,6 +28,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (empty disables); see OBSERVABILITY.md")
 		pool        = flag.Int("pool", 1, "pooled memory-server connections per inbound partial VM (1 keeps the serial client)")
 		streams     = flag.Int("prefetch-streams", 1, "pipelined prefetch batches in flight during partial→full conversion (<=1 is serial)")
+		upStreams   = flag.Int("upload-streams", 1, "parallel snapshot-encode shards and chunked upload streams on the detach path (<=1 is serial)")
 	)
 	flag.Parse()
 	if *secret == "" {
@@ -41,7 +42,7 @@ func main() {
 		log.Printf("oasis-agentd: telemetry on http://%s/metrics", ts.Addr())
 	}
 	a := agent.New(*name, []byte(*secret), log.Printf)
-	a.SetTransport(agent.TransportConfig{PoolSize: *pool, PrefetchStreams: *streams})
+	a.SetTransport(agent.TransportConfig{PoolSize: *pool, PrefetchStreams: *streams, UploadStreams: *upStreams})
 	if err := a.Start(*rpc, *mem); err != nil {
 		log.Fatal(err)
 	}

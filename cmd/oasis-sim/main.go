@@ -46,6 +46,7 @@ func main() {
 		events  = flag.Int("events", 0, "record and print the last N manager decisions")
 		msMTBF  = flag.Duration("ms-mtbf", 0, "inject memory-server outages with this mean time between failures per serving server (0 disables)")
 		streams = flag.Int("prefetch-streams", 0, "model this many pipelined prefetch streams on the reattach path (<=1 keeps the serial transport)")
+		upload  = flag.Int("upload-streams", 0, "model this many parallel upload streams on the detach path (<=1 keeps the serial pipeline)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address while the simulation runs (empty disables); see OBSERVABILITY.md")
 	)
@@ -74,6 +75,7 @@ func main() {
 	cfg.Cluster.EventLogSize = *events
 	cfg.Cluster.MemServerMTBF = *msMTBF
 	cfg.Cluster.Model.PrefetchStreams = *streams
+	cfg.Cluster.Model.UploadStreams = *upload
 	cfg.Kind = oasis.Weekday
 	if strings.ToLower(*kind) == "weekend" {
 		cfg.Kind = oasis.Weekend
@@ -103,6 +105,10 @@ func main() {
 		r.Stats.NetworkBytes(), r.Stats.FullBytes, r.Stats.DescriptorBytes,
 		r.Stats.OnDemandBytes, r.Stats.ReintegrateBytes)
 	fmt.Printf("  operations: %v\n", r.Stats.Ops)
+	if *upload > 1 && r.Stats.DetachSample.N() > 0 {
+		fmt.Printf("  detach windows (×%d upload streams): mean %.2fs, max %.2fs over %d detaches\n",
+			*upload, r.Stats.DetachSample.Mean(), r.Stats.DetachSample.Max(), r.Stats.DetachSample.N())
+	}
 	if *msMTBF > 0 {
 		// Print the fault-injection outcome straight from the live
 		// registry — the same oasis_sim_* values a -metrics-addr scrape

@@ -119,8 +119,16 @@ type Agent struct {
 
 	// transport tunes the page-transport layer (connection pool width,
 	// pipelined prefetch depth) of every memtap this agent creates for
-	// inbound partial VMs.
+	// inbound partial VMs, and the upload stream count of the agent's own
+	// detach path.
 	transport TransportConfig
+
+	// upPool is the lazily-dialed connection pool to this host's own
+	// memory server, used for chunked streaming uploads when
+	// transport.UploadStreams > 1 (the serial path installs host-locally
+	// through a.mem instead).
+	upPoolMu sync.Mutex
+	upPool   *memserver.ClientPool
 
 	tel *agentTel
 }
@@ -128,11 +136,16 @@ type Agent struct {
 // TransportConfig tunes the parallel page-transport layer an agent gives
 // each inbound partial VM: PoolSize memory-server connections per memtap
 // (1 keeps the serial client) and PrefetchStreams pipelined batches
-// during partial→full conversion. Zero fields select the serial
-// defaults, preserving the pre-pooling behaviour.
+// during partial→full conversion. UploadStreams tunes the detach
+// direction — snapshot encoding fans out over that many shards and
+// uploads ship as chunks over that many concurrent streams to the
+// memory server (<= 1 keeps the serial encode + one-shot upload). Zero
+// fields select the serial defaults, preserving the pre-pooling
+// behaviour.
 type TransportConfig struct {
 	PoolSize        int
 	PrefetchStreams int
+	UploadStreams   int
 }
 
 // SetTransport configures the page-transport layer for partial VMs
@@ -187,6 +200,12 @@ func (a *Agent) Close() error {
 	}
 	a.peers = map[string]*wire.Client{}
 	a.peersMu.Unlock()
+	a.upPoolMu.Lock()
+	if a.upPool != nil {
+		a.upPool.Close()
+		a.upPool = nil
+	}
+	a.upPoolMu.Unlock()
 	var err error
 	if a.rpc != nil {
 		err = a.rpc.Close()
@@ -430,6 +449,62 @@ func (a *Agent) handleReadPage(params json.RawMessage) (any, error) {
 	return base64.StdEncoding.EncodeToString(page), nil
 }
 
+// uploadStreams returns the configured detach fan-out (>= 1).
+func (a *Agent) uploadStreams() int {
+	a.mu.Lock()
+	w := a.transport.UploadStreams
+	a.mu.Unlock()
+	return max(w, 1)
+}
+
+// uploadPool returns, dialing on first use, the streaming-upload pool to
+// this host's own memory server.
+func (a *Agent) uploadPool(streams int) (*memserver.ClientPool, error) {
+	a.upPoolMu.Lock()
+	defer a.upPoolMu.Unlock()
+	if a.upPool != nil {
+		return a.upPool, nil
+	}
+	p, err := memserver.DialPool(a.memAddr.String(), a.secret, memserver.PoolConfig{
+		Size:       streams,
+		Resilience: memserver.ResilientConfig{Name: "agent-upload"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.upPool = p
+	return p, nil
+}
+
+// uploadImage ships a full snapshot to the host's memory server: chunked
+// streaming over UploadStreams concurrent connections when > 1, else the
+// host-local (SAS) install. Both paths swap the image in atomically.
+func (a *Agent) uploadImage(id pagestore.VMID, alloc units.Bytes, snap []byte) error {
+	streams := a.uploadStreams()
+	if streams <= 1 {
+		return a.mem.InstallImage(id, alloc, snap)
+	}
+	p, err := a.uploadPool(streams)
+	if err != nil {
+		return err
+	}
+	return p.StreamImage(id, alloc, snap, memserver.PutOptions{Streams: streams})
+}
+
+// uploadDiff ships a differential snapshot the same way uploadImage ships
+// full ones.
+func (a *Agent) uploadDiff(id pagestore.VMID, snap []byte) error {
+	streams := a.uploadStreams()
+	if streams <= 1 {
+		return a.mem.ApplyDiff(id, snap)
+	}
+	p, err := a.uploadPool(streams)
+	if err != nil {
+		return err
+	}
+	return p.StreamDiff(id, snap, memserver.PutOptions{Streams: streams})
+}
+
 // handlePartialMigrate implements the source side of §4.2 partial
 // migration: suspend the VM, upload its memory to the host's memory
 // server (differential when possible), and push the descriptor to the
@@ -451,13 +526,15 @@ func (a *Agent) handlePartialMigrate(params json.RawMessage) (any, error) {
 	}
 
 	// Upload memory to the memory server: full image the first time,
-	// only dirty pages afterwards (§4.3 differential upload).
+	// only dirty pages afterwards (§4.3 differential upload). The encode
+	// fans out across UploadStreams shards (byte-identical to serial).
+	workers := a.transport.UploadStreams
 	var snap []byte
 	var pages int
 	if mv.uploaded {
-		snap, pages, err = pagestore.EncodeDirtySince(mv.image, mv.uploadedEpoch)
+		snap, pages, err = pagestore.EncodeDirtySinceParallel(mv.image, mv.uploadedEpoch, workers)
 	} else {
-		snap, pages, err = pagestore.EncodeAll(mv.image)
+		snap, pages, err = pagestore.EncodeAllParallel(mv.image, workers)
 	}
 	if err != nil {
 		a.mu.Unlock()
@@ -469,15 +546,16 @@ func (a *Agent) handlePartialMigrate(params json.RawMessage) (any, error) {
 	desc.MemServerAddr = a.memAddr.String()
 	a.mu.Unlock()
 
-	// Install into the local memory server (the SAS path: host-local).
+	// Ship the snapshot to the local memory server: chunked streaming
+	// over concurrent connections when UploadStreams > 1, else the
+	// host-local (SAS) path. Either way the image swaps in atomically.
 	if wasUploaded {
-		if err := a.mem.ApplyDiff(args.VMID, snap); err != nil {
-			return nil, err
-		}
+		err = a.uploadDiff(args.VMID, snap)
 	} else {
-		if err := a.mem.InstallImage(args.VMID, desc.Alloc, snap); err != nil {
-			return nil, err
-		}
+		err = a.uploadImage(args.VMID, desc.Alloc, snap)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	// Push the descriptor to the destination.
@@ -590,7 +668,7 @@ func (a *Agent) handleFullMigrate(params json.RawMessage) (any, error) {
 	mv.migrating = true
 	desc := *mv.desc
 	epoch := mv.image.NextEpoch()
-	snap, _, err := pagestore.EncodeAll(mv.image)
+	snap, _, err := pagestore.EncodeAllParallel(mv.image, a.transport.UploadStreams)
 	a.mu.Unlock()
 	if err != nil {
 		a.abortMigration(args.VMID)
@@ -627,7 +705,7 @@ func (a *Agent) handleFullMigrate(params json.RawMessage) (any, error) {
 			break
 		}
 		epoch = mv.image.NextEpoch()
-		delta, err := pagestore.EncodePages(mv.image, dirty)
+		delta, err := pagestore.EncodePagesParallel(mv.image, dirty, a.transport.UploadStreams)
 		a.mu.Unlock()
 		if err != nil {
 			a.abortMigration(args.VMID)
@@ -865,7 +943,7 @@ func (a *Agent) handleReintegrate(params json.RawMessage) (any, error) {
 	}
 	// Only pages the partial VM wrote locally travel home; faulted-in
 	// pages already match the owner's retained DRAM copy (§4.2).
-	snap, pages, err := mv.pvm.DirtySnapshot()
+	snap, pages, err := mv.pvm.DirtySnapshotParallel(a.transport.UploadStreams)
 	if err != nil {
 		a.mu.Unlock()
 		return nil, err

@@ -57,6 +57,65 @@ func TestPooledTransportPostCopy(t *testing.T) {
 	}
 }
 
+// TestStreamedUploadPartialLifecycle runs the detach direction with the
+// parallel pipeline turned all the way up: sharded snapshot encoding plus
+// chunked streaming uploads to the source's own memory server, first the
+// full image, then (after reintegration and a re-detach) the
+// differential upload — and the partial VM's faults must see exactly the
+// pages the serial path would have uploaded.
+func TestStreamedUploadPartialLifecycle(t *testing.T) {
+	m, agents := startHosts(t, 2)
+	for _, a := range agents {
+		a.SetTransport(TransportConfig{PoolSize: 2, PrefetchStreams: 2, UploadStreams: 4})
+	}
+	src, dst := agents[0].Name, agents[1].Name
+	if err := m.CreateVMOn(src, CreateVMArgs{VMID: 33, Alloc: 8 * units.MiB}); err != nil {
+		t.Fatal(err)
+	}
+	for pfn := pagestore.PFN(50); pfn < 90; pfn++ {
+		if err := m.WritePage(src, 33, pfn, page(byte(pfn))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Detach: the image travels to the memory server over 4 upload
+	// streams; faults at the destination must read it back intact.
+	if err := m.PartialMigrate(33, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	for _, pfn := range []pagestore.PFN{50, 71, 89} {
+		got, err := m.ReadPage(dst, 33, pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(pfn) {
+			t.Fatalf("pfn %d = %x through streamed upload", pfn, got[0])
+		}
+	}
+	// Home again, dirty one page, re-detach: this time only the delta
+	// streams (differential chunked upload).
+	if err := m.WritePage(dst, 33, 60, page(0xCD)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reintegrate(33, dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(src, 33, 61, page(0xEF)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PartialMigrate(33, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	for pfn, want := range map[pagestore.PFN]byte{60: 0xCD, 61: 0xEF, 70: 70} {
+		got, err := m.ReadPage(dst, 33, pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("pfn %d = %x after differential streamed upload, want %x", pfn, got[0], want)
+		}
+	}
+}
+
 // TestPooledTransportPartialLifecycle checks the on-demand fault path of
 // a partial VM whose agent runs the pooled transport, including
 // reintegration of dirty state.

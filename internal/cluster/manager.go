@@ -466,6 +466,14 @@ func (c *Cluster) partialMigrate(v *vm.VM, dest *host.Host) (time.Duration, bool
 	op := c.Cfg.Model.PartialMigration(upload, c.descSize(v), first)
 	c.Stats.DescriptorBytes += op.NetBytes
 	c.Stats.SASBytes += op.SASBytes
+	// Record the detach window the source host actually spends busy: the
+	// parallel detach pipeline (Model.UploadStreams > 1) shortens the SAS
+	// upload component by overlapping encode/transfer/decode. Stats-only,
+	// exactly like the prefetch speedup on the reattach side: the op
+	// latency that drives placement and energy is returned unshortened,
+	// so the powered/energy series are bit-identical across stream
+	// counts.
+	c.Stats.DetachSample.Add(c.Cfg.Model.DetachWindow(op).Seconds())
 	if first {
 		c.Stats.Ops.Inc("partial-first", 1)
 	} else {

@@ -29,6 +29,13 @@ type Stats struct {
 	ZeroTransitions int64
 	DelaySample     metrics.Sample // seconds, non-zero transitions only
 
+	// DetachSample records each partial migration's detach window (the
+	// seconds the source host is busy encoding + uploading before it can
+	// progress toward suspend), as shortened by the parallel detach
+	// pipeline (migration.Model.DetachWindow). Stats-only: placement and
+	// energy accounting use the op's unshortened latency.
+	DetachSample metrics.Sample
+
 	// ConsRatio samples the number of VMs per powered consolidation host
 	// at every planning interval (Figure 9).
 	ConsRatio metrics.Sample

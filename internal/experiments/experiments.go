@@ -92,6 +92,8 @@ func ByID(id string, opt Option) (Report, bool) {
 		return Table3(opt), true
 	case "reattach":
 		return ReattachReport(opt), true
+	case "detach":
+		return DetachReport(opt), true
 	case "ab-diff":
 		return AblationDifferentialUpload(opt), true
 	case "ab-lzf":
@@ -117,6 +119,6 @@ func ByID(id string, opt Option) (Report, bool) {
 // the ablations.
 func IDs() []string {
 	return []string{"fig1", "fig2", "table1", "fig5", "traffic", "fig6",
-		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3", "reattach",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3", "reattach", "detach",
 		"ab-diff", "ab-lzf", "ab-shared", "ab-elide", "ab-place", "ab-order", "ab-headroom", "ab-power"}
 }

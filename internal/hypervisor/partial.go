@@ -254,7 +254,14 @@ func (vm *PartialVM) DirtyPages() []pagestore.PFN {
 // reintegration pushes back to the owner. Pages that were only faulted in
 // are excluded: the home's DRAM copy already holds them (§4.2).
 func (vm *PartialVM) DirtySnapshot() (data []byte, pages int, err error) {
+	return vm.DirtySnapshotParallel(1)
+}
+
+// DirtySnapshotParallel is DirtySnapshot with the snapshot encoded by
+// workers parallel shards (byte-identical to the serial encoding; see
+// pagestore.EncodePagesParallel). workers <= 1 encodes serially.
+func (vm *PartialVM) DirtySnapshotParallel(workers int) (data []byte, pages int, err error) {
 	pfns := vm.DirtyPages()
-	data, err = pagestore.EncodePages(vm.mem, pfns)
+	data, err = pagestore.EncodePagesParallel(vm.mem, pfns, workers)
 	return data, len(pfns), err
 }

@@ -231,6 +231,27 @@ func (c *Client) PutDiff(id pagestore.VMID, snapshot []byte) error {
 	return err
 }
 
+// PutBegin opens a chunked streaming upload (see proto.go). Re-sending a
+// Begin for the same upload id is a no-op that keeps staged chunks.
+func (c *Client) PutBegin(id pagestore.VMID, uploadID uint64, kind byte, alloc units.Bytes) error {
+	_, err := c.roundTrip(msgPutBegin, encodePutBegin(id, uploadID, kind, uint64(alloc)), msgOK)
+	return err
+}
+
+// PutChunk stages one self-contained snapshot chunk of an open upload.
+// Chunks may arrive in any order and over any connection.
+func (c *Client) PutChunk(id pagestore.VMID, uploadID uint64, seq uint32, chunk []byte) error {
+	_, err := c.roundTrip(msgPutChunk, encodePutChunk(id, uploadID, seq, chunk), msgOK)
+	return err
+}
+
+// PutCommit validates that all n chunks arrived and applies the upload
+// atomically; until it succeeds the VM's previous image stays visible.
+func (c *Client) PutCommit(id pagestore.VMID, uploadID uint64, n uint32) error {
+	_, err := c.roundTrip(msgPutCommit, encodePutCommit(id, uploadID, n), msgOK)
+	return err
+}
+
 // Delete frees a VM's image (after full migration the source agent frees
 // all resources, including memory-server state, §4.2).
 func (c *Client) Delete(id pagestore.VMID) error {

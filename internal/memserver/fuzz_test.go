@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"oasis/internal/pagestore"
+	"oasis/internal/rng"
 	"oasis/internal/units"
 )
 
@@ -45,9 +46,9 @@ func FuzzPagesReply(f *testing.F) {
 	zero := make([]byte, units.PageSize)
 	good := make([]byte, 4)
 	binary.BigEndian.PutUint32(good, 3)
-	good = appendPageEntry(good, 4, pageA)
-	good = appendPageEntry(good, 9, pageB)
-	good = appendPageEntry(good, 13, zero)
+	good, _ = appendPageEntry(good, 4, pageA, nil)
+	good, _ = appendPageEntry(good, 9, pageB, nil)
+	good, _ = appendPageEntry(good, 13, zero, nil)
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 1})                   // count promises more than the payload holds
@@ -60,6 +61,134 @@ func FuzzPagesReply(f *testing.F) {
 		for pfn, page := range pages {
 			if len(page) != int(units.PageSize) {
 				t.Fatalf("pfn %d: delivered %d-byte page", pfn, len(page))
+			}
+		}
+	})
+}
+
+// frameSeq concatenates length-prefixed frames the way they appear on the
+// wire, for feeding the upload fuzz target whole conversations.
+func frameSeq(frames ...struct {
+	typ     byte
+	payload []byte
+}) []byte {
+	var buf bytes.Buffer
+	for _, fr := range frames {
+		writeFrame(&buf, fr.typ, fr.payload)
+	}
+	return buf.Bytes()
+}
+
+func frame(typ byte, payload []byte) struct {
+	typ     byte
+	payload []byte
+} {
+	return struct {
+		typ     byte
+		payload []byte
+	}{typ, payload}
+}
+
+// FuzzPutChunkFraming drives the chunked-upload framing and staging state
+// machine with arbitrary frame sequences. Three properties hold: the
+// parsers never panic and anything they accept round-trips to identical
+// canonical bytes; the server-side staging methods never panic whatever
+// order Begin/Chunk/Commit arrive in (out-of-order seq, duplicates,
+// commit-before-begin); and a successful commit only ever installs a
+// decodable image. Seeds (plus the testdata/fuzz corpus) cover truncated
+// chunk headers, out-of-order and duplicate sequence numbers, and
+// commit-before-begin.
+func FuzzPutChunkFraming(f *testing.F) {
+	// A valid two-chunk upload, chunks deliberately out of order and one
+	// duplicated.
+	im := pagestore.NewImage(1 * units.MiB)
+	page := make([]byte, units.PageSize)
+	r := rng.New(31)
+	for i := range page { // incompressible: one raw page per chunk
+		page[i] = byte(r.Uint64())
+	}
+	im.Write(0, page)
+	im.Write(1, page)
+	snap, _, _ := pagestore.EncodeAll(im)
+	chunks, err := pagestore.SplitSnapshot(snap, 1)
+	if err != nil || len(chunks) != 2 {
+		f.Fatalf("seed split: %d chunks, err %v", len(chunks), err)
+	}
+	f.Add(frameSeq(
+		frame(msgPutBegin, encodePutBegin(5, 99, putKindImage, uint64(1*units.MiB))),
+		frame(msgPutChunk, encodePutChunk(5, 99, 1, chunks[1])),
+		frame(msgPutChunk, encodePutChunk(5, 99, 0, chunks[0])),
+		frame(msgPutChunk, encodePutChunk(5, 99, 1, chunks[1])), // duplicate
+		frame(msgPutCommit, encodePutCommit(5, 99, 2)),
+		frame(msgPutCommit, encodePutCommit(5, 99, 2)), // replayed commit
+	))
+	// Commit before begin, then chunk before begin.
+	f.Add(frameSeq(
+		frame(msgPutCommit, encodePutCommit(3, 1, 1)),
+		frame(msgPutChunk, encodePutChunk(3, 1, 0, chunks[0])),
+	))
+	// Truncated chunk header (payload shorter than the 16-byte prefix).
+	f.Add(frameSeq(frame(msgPutChunk, []byte{0, 0, 0, 5, 0, 0})))
+	// Truncated begin and commit payloads.
+	f.Add(frameSeq(
+		frame(msgPutBegin, encodePutBegin(5, 99, putKindImage, 4096)[:11]),
+		frame(msgPutCommit, encodePutCommit(5, 99, 1)[:7]),
+	))
+	// Seq beyond the chunk limit and a zero-chunk commit.
+	f.Add(frameSeq(
+		frame(msgPutChunk, encodePutChunk(5, 99, maxUploadChunks, nil)),
+		frame(msgPutCommit, encodePutCommit(5, 99, 0)),
+	))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewServer(testSecret, nil)
+		for off := 0; off+5 <= len(data); {
+			n := int(binary.BigEndian.Uint32(data[off:]))
+			typ := data[off+4]
+			if n < 0 || n > len(data)-off-5 {
+				break
+			}
+			payload := data[off+5 : off+5+n]
+			off += 5 + n
+			switch typ {
+			case msgPutBegin:
+				id, uploadID, kind, alloc, err := parsePutBegin(payload)
+				if err != nil {
+					continue
+				}
+				if got := encodePutBegin(id, uploadID, kind, alloc); !bytes.Equal(got, payload) {
+					t.Fatalf("PutBegin round trip diverged:\n in  %x\n out %x", payload, got)
+				}
+				s.putBegin(id, uploadID, kind, alloc)
+			case msgPutChunk:
+				id, uploadID, seq, chunk, err := parsePutChunk(payload)
+				if err != nil {
+					continue
+				}
+				if got := encodePutChunk(id, uploadID, seq, chunk); !bytes.Equal(got, payload) {
+					t.Fatalf("PutChunk round trip diverged:\n in  %x\n out %x", payload, got)
+				}
+				s.putChunk(id, uploadID, seq, chunk)
+			case msgPutCommit:
+				id, uploadID, nchunks, err := parsePutCommit(payload)
+				if err != nil {
+					continue
+				}
+				if got := encodePutCommit(id, uploadID, nchunks); !bytes.Equal(got, payload) {
+					t.Fatalf("PutCommit round trip diverged:\n in  %x\n out %x", payload, got)
+				}
+				if err := s.putCommit(id, uploadID, nchunks); err == nil {
+					// A commit that succeeded must have installed a
+					// readable image.
+					im, err := s.Store().Get(id)
+					if err != nil {
+						t.Fatalf("committed upload %d left no image: %v", uploadID, err)
+					}
+					if _, _, err := pagestore.EncodeAll(im); err != nil {
+						t.Fatalf("committed image does not re-encode: %v", err)
+					}
+				}
 			}
 		}
 	})
@@ -94,7 +223,7 @@ func FuzzGetPagesRoundTrip(f *testing.F) {
 		// Reply side, built the way the server builds it.
 		reply := make([]byte, 4)
 		binary.BigEndian.PutUint32(reply, 1)
-		reply = appendPageEntry(reply, pfn, want)
+		reply, _ = appendPageEntry(reply, pfn, want, nil)
 		pages, err := parsePagesReply(reply)
 		if err != nil {
 			t.Fatal(err)

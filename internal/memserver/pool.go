@@ -52,6 +52,7 @@ type ClientPool struct {
 
 	onStateChange func(from, to BreakerState)
 	tel           *poolTel
+	putTel        *putTel
 }
 
 // NewPool builds a pool of cfg.Size resilient lanes around
@@ -67,6 +68,7 @@ func NewPool(cfg PoolConfig) *ClientPool {
 		laneState:     make([]BreakerState, cfg.Size),
 		onStateChange: cfg.Resilience.OnStateChange,
 		tel:           newPoolTel(cfg.Resilience.Registry, cfg.Resilience.Name),
+		putTel:        newPutTel(cfg.Resilience.Registry, cfg.Resilience.Name),
 	}
 	for i := range p.lanes {
 		lane := i

@@ -32,6 +32,9 @@ const (
 	msgSetServing                 // u8 bool: daemon actively serving (host asleep)
 	msgGetPages                   // u32 vmid | u32 n | n x u64 pfn (batch fetch)
 	msgPages                      // u32 n | n x (u64 pfn | u16 token | payload)
+	msgPutBegin                   // u32 vmid | u64 upload id | u8 kind | u64 alloc bytes
+	msgPutChunk                   // u32 vmid | u64 upload id | u32 seq | snapshot chunk
+	msgPutCommit                  // u32 vmid | u64 upload id | u32 chunk count
 )
 
 // maxFrame bounds a single protocol frame. Uploads stream whole snapshots,
@@ -41,6 +44,32 @@ const maxFrame = 1 << 30
 
 // maxBatchPages bounds one GetPages batch (prefetchers chunk their work).
 const maxBatchPages = 4096
+
+// Chunked streaming upload (the write-side counterpart of the pipelined
+// prefetch path). A snapshot is split into self-contained snapshot
+// chunks and shipped concurrently over pool lanes:
+//
+//	PutBegin(vmid, uploadID, kind, alloc)  open a staging upload
+//	PutChunk(vmid, uploadID, seq, chunk)   stage one chunk (any order)
+//	PutCommit(vmid, uploadID, n)           validate + apply atomically
+//
+// Every frame is idempotent: re-sending a Begin keeps already-staged
+// chunks, a duplicate Chunk overwrites seq with identical bytes, and a
+// re-sent Commit of the last committed upload id acknowledges without
+// re-applying. Nothing touches the VM's live image until Commit, so a
+// client crash, breaker trip or killed connection mid-upload leaves the
+// previous image intact (the crash-atomicity DESIGN.md §10 argues).
+
+// Upload kinds carried by PutBegin.
+const (
+	putKindImage byte = 0 // full image: staged image replaces the VM's
+	putKindDiff  byte = 1 // differential: chunks apply onto the live image at commit
+)
+
+// maxUploadChunks bounds one staged upload. With the default ~4 MiB
+// chunks this allows 64 GiB in flight per VM, far beyond any guest
+// allocation the prototype models, while still rejecting absurd counts.
+const maxUploadChunks = 16384
 
 // writeFrame sends one length-prefixed frame.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
@@ -119,12 +148,12 @@ func parseGetPagesRequest(payload []byte) (pagestore.VMID, []pagestore.PFN, erro
 }
 
 // appendPageEntry appends one reply entry (pfn | token | encoded body)
-// for a page's raw contents.
-func appendPageEntry(out []byte, pfn pagestore.PFN, page []byte) []byte {
-	token, body := pagestore.EncodePage(page)
+// for a page's raw contents. scratch is the caller-owned compression
+// buffer (see pagestore.EncodePageAppend); passing nil still works but
+// allocates per call.
+func appendPageEntry(out []byte, pfn pagestore.PFN, page, scratch []byte) ([]byte, []byte) {
 	out = binary.BigEndian.AppendUint64(out, uint64(pfn))
-	out = binary.BigEndian.AppendUint16(out, token)
-	return append(out, body...)
+	return pagestore.EncodePageAppend(out, scratch, page)
 }
 
 // parsePagesReply decodes a msgPages payload into decompressed pages.
@@ -158,4 +187,85 @@ func parsePagesReply(reply []byte) (map[pagestore.PFN][]byte, error) {
 		off += bodyLen
 	}
 	return out, nil
+}
+
+// Streaming-upload framing. As with GetPages, the encode/parse pairs are
+// the single definition of the wire layout, shared by client and server
+// and held to the round-trip and no-panic properties by
+// FuzzPutChunkFraming.
+//
+//	PutBegin:  u32 vmid | u64 upload id | u8 kind | u64 alloc
+//	PutChunk:  u32 vmid | u64 upload id | u32 seq | chunk bytes
+//	PutCommit: u32 vmid | u64 upload id | u32 chunk count
+
+// encodePutBegin builds a msgPutBegin payload.
+func encodePutBegin(id pagestore.VMID, uploadID uint64, kind byte, alloc uint64) []byte {
+	req := make([]byte, 0, 21)
+	req = binary.BigEndian.AppendUint32(req, uint32(id))
+	req = binary.BigEndian.AppendUint64(req, uploadID)
+	req = append(req, kind)
+	return binary.BigEndian.AppendUint64(req, alloc)
+}
+
+// parsePutBegin decodes a msgPutBegin payload (exact length, known kind).
+func parsePutBegin(payload []byte) (id pagestore.VMID, uploadID uint64, kind byte, alloc uint64, err error) {
+	if len(payload) != 21 {
+		return 0, 0, 0, 0, errors.New("malformed PutBegin")
+	}
+	kind = payload[12]
+	if kind != putKindImage && kind != putKindDiff {
+		return 0, 0, 0, 0, fmt.Errorf("PutBegin: unknown upload kind %d", kind)
+	}
+	id = pagestore.VMID(binary.BigEndian.Uint32(payload))
+	uploadID = binary.BigEndian.Uint64(payload[4:])
+	alloc = binary.BigEndian.Uint64(payload[13:])
+	return id, uploadID, kind, alloc, nil
+}
+
+// encodePutChunk builds a msgPutChunk payload around a snapshot chunk.
+func encodePutChunk(id pagestore.VMID, uploadID uint64, seq uint32, chunk []byte) []byte {
+	req := make([]byte, 0, 16+len(chunk))
+	req = binary.BigEndian.AppendUint32(req, uint32(id))
+	req = binary.BigEndian.AppendUint64(req, uploadID)
+	req = binary.BigEndian.AppendUint32(req, seq)
+	return append(req, chunk...)
+}
+
+// parsePutChunk decodes a msgPutChunk payload. The chunk bytes alias the
+// payload (no copy): readFrame allocates a fresh buffer per frame, so the
+// server may retain them.
+func parsePutChunk(payload []byte) (id pagestore.VMID, uploadID uint64, seq uint32, chunk []byte, err error) {
+	if len(payload) < 16 {
+		return 0, 0, 0, nil, errors.New("malformed PutChunk")
+	}
+	id = pagestore.VMID(binary.BigEndian.Uint32(payload))
+	uploadID = binary.BigEndian.Uint64(payload[4:])
+	seq = binary.BigEndian.Uint32(payload[12:])
+	if seq >= maxUploadChunks {
+		return 0, 0, 0, nil, fmt.Errorf("PutChunk: seq %d beyond the %d-chunk limit", seq, maxUploadChunks)
+	}
+	return id, uploadID, seq, payload[16:], nil
+}
+
+// encodePutCommit builds a msgPutCommit payload.
+func encodePutCommit(id pagestore.VMID, uploadID uint64, chunks uint32) []byte {
+	req := make([]byte, 0, 16)
+	req = binary.BigEndian.AppendUint32(req, uint32(id))
+	req = binary.BigEndian.AppendUint64(req, uploadID)
+	return binary.BigEndian.AppendUint32(req, chunks)
+}
+
+// parsePutCommit decodes a msgPutCommit payload (exact length, bounded
+// chunk count).
+func parsePutCommit(payload []byte) (id pagestore.VMID, uploadID uint64, chunks uint32, err error) {
+	if len(payload) != 16 {
+		return 0, 0, 0, errors.New("malformed PutCommit")
+	}
+	chunks = binary.BigEndian.Uint32(payload[12:])
+	if chunks == 0 || chunks > maxUploadChunks {
+		return 0, 0, 0, fmt.Errorf("PutCommit: %d chunks outside [1, %d]", chunks, maxUploadChunks)
+	}
+	id = pagestore.VMID(binary.BigEndian.Uint32(payload))
+	uploadID = binary.BigEndian.Uint64(payload[4:])
+	return id, uploadID, chunks, nil
 }

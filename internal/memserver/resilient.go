@@ -461,6 +461,28 @@ func (r *ResilientClient) PutDiff(id pagestore.VMID, snapshot []byte) error {
 	return r.do("PutDiff", true, func(c *Client) error { return c.PutDiff(id, snapshot) })
 }
 
+// PutBegin opens a chunked upload with the read retry budget: Begin is a
+// pure staging operation (the live image is untouched until Commit) and
+// re-sending it for the same upload id keeps already-staged chunks, so
+// retrying freely costs nothing and loses nothing.
+func (r *ResilientClient) PutBegin(id pagestore.VMID, uploadID uint64, kind byte, alloc units.Bytes) error {
+	return r.do("PutBegin", false, func(c *Client) error { return c.PutBegin(id, uploadID, kind, alloc) })
+}
+
+// PutChunk stages one chunk with the read retry budget: a duplicate seq
+// overwrites with identical bytes and a chunk landing after its upload
+// committed is acknowledged as a no-op, so retry is always safe.
+func (r *ResilientClient) PutChunk(id pagestore.VMID, uploadID uint64, seq uint32, chunk []byte) error {
+	return r.do("PutChunk", false, func(c *Client) error { return c.PutChunk(id, uploadID, seq, chunk) })
+}
+
+// PutCommit commits a chunked upload with the read retry budget: the
+// server remembers the last committed upload id per VM, so a Commit
+// retried after a lost reply is acknowledged without re-applying.
+func (r *ResilientClient) PutCommit(id pagestore.VMID, uploadID uint64, n uint32) error {
+	return r.do("PutCommit", false, func(c *Client) error { return c.PutCommit(id, uploadID, n) })
+}
+
 // Delete frees a VM's image with a bounded retry budget (idempotent).
 func (r *ResilientClient) Delete(id pagestore.VMID) error {
 	return r.do("Delete", true, func(c *Client) error { return c.Delete(id) })

@@ -56,6 +56,15 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	// Chunked streaming uploads staged but not yet committed, plus the
+	// last committed upload id per VM (what makes a retried PutCommit
+	// after a lost reply an acknowledgement instead of an error). One
+	// pending upload per VM: a new upload id replaces a stale one, which
+	// is also how abandoned uploads from crashed clients get collected.
+	upMu      sync.Mutex
+	uploads   map[pagestore.VMID]*pendingUpload
+	committed map[pagestore.VMID]uint64
+
 	serving       atomic.Bool
 	pagesServed   atomic.Int64
 	bytesServed   atomic.Int64
@@ -86,6 +95,8 @@ func NewServerWithStore(secret []byte, store *pagestore.Store, logf func(string,
 		logf:        logf,
 		idleTimeout: DefaultIdleTimeout,
 		conns:       make(map[net.Conn]struct{}),
+		uploads:     make(map[pagestore.VMID]*pendingUpload),
+		committed:   make(map[pagestore.VMID]uint64),
 		tel:         newServerTel(telemetry.Default),
 	}
 	s.serving.Store(true)
@@ -245,6 +256,11 @@ func (s *Server) serveConn(raw net.Conn) {
 		s.logf("memserver: auth failure from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
+	// Per-connection encode buffers for the page-serving hot path: one
+	// goroutine serves a connection, so the reply and compression
+	// scratch can live across frames instead of being allocated per
+	// page (see pagestore.EncodePageAppend).
+	var scratch connScratch
 	for {
 		// Re-arm the idle deadline per frame: an active client may talk
 		// for hours, but a silent one is dropped after idleTimeout.
@@ -259,11 +275,17 @@ func (s *Server) serveConn(raw net.Conn) {
 			}
 			return // EOF, idle timeout, or broken connection; client is gone
 		}
-		if err := s.handle(conn, typ, payload); err != nil {
+		if err := s.handle(conn, typ, payload, &scratch); err != nil {
 			s.logf("memserver: conn %v: %v", conn.RemoteAddr(), err)
 			return
 		}
 	}
+}
+
+// connScratch holds one connection's reusable encode buffers.
+type connScratch struct {
+	reply []byte // outgoing page/batch reply under construction
+	comp  []byte // lzf compression scratch
 }
 
 func (s *Server) authenticate(conn net.Conn) error {
@@ -291,7 +313,7 @@ func (s *Server) authenticate(conn net.Conn) error {
 	return writeFrame(conn, msgOK, nil)
 }
 
-func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
+func (s *Server) handle(conn net.Conn, typ byte, payload []byte, scratch *connScratch) error {
 	op := s.tel.op(typ)
 	op.total.Inc()
 	start := time.Now()
@@ -318,10 +340,11 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
 		if err != nil {
 			return fail(err)
 		}
-		token, body := pagestore.EncodePage(page)
-		out := make([]byte, 2, 2+len(body))
-		binary.BigEndian.PutUint16(out, token)
-		out = append(out, body...)
+		// msgPage's reply body IS the page encoding (u16 token | payload),
+		// built in the connection's reusable buffers.
+		out := scratch.reply[:0]
+		out, scratch.comp = pagestore.EncodePageAppend(out, scratch.comp, page)
+		scratch.reply = out
 		s.pagesServed.Add(1)
 		s.bytesServed.Add(int64(len(out)))
 		return writeFrame(conn, msgPage, out)
@@ -340,15 +363,16 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
 		if err != nil {
 			return fail(err)
 		}
-		out := make([]byte, 4, 4+n*64)
-		binary.BigEndian.PutUint32(out, uint32(n))
+		out := scratch.reply[:0]
+		out = binary.BigEndian.AppendUint32(out, uint32(n))
 		for _, pfn := range pfns {
 			page, err := im.Read(pfn)
 			if err != nil {
 				return fail(err)
 			}
-			out = appendPageEntry(out, pfn, page)
+			out, scratch.comp = appendPageEntry(out, pfn, page, scratch.comp)
 		}
+		scratch.reply = out
 		s.pagesServed.Add(int64(n))
 		s.bytesServed.Add(int64(len(out)))
 		return writeFrame(conn, msgPages, out)
@@ -389,12 +413,46 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
 		}
 		return writeFrame(conn, msgOK, nil)
 
+	case msgPutBegin:
+		vmid, uploadID, kind, alloc, err := parsePutBegin(payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.putBegin(vmid, uploadID, kind, alloc); err != nil {
+			return fail(err)
+		}
+		return writeFrame(conn, msgOK, nil)
+
+	case msgPutChunk:
+		vmid, uploadID, seq, chunk, err := parsePutChunk(payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.putChunk(vmid, uploadID, seq, chunk); err != nil {
+			return fail(err)
+		}
+		return writeFrame(conn, msgOK, nil)
+
+	case msgPutCommit:
+		vmid, uploadID, chunks, err := parsePutCommit(payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.putCommit(vmid, uploadID, chunks); err != nil {
+			return fail(err)
+		}
+		return writeFrame(conn, msgOK, nil)
+
 	case msgDeleteVM:
 		if len(payload) != 4 {
 			return fail(errors.New("malformed DeleteVM"))
 		}
 		id := pagestore.VMID(binary.BigEndian.Uint32(payload))
 		s.store.Delete(id)
+		s.upMu.Lock()
+		delete(s.uploads, id)
+		delete(s.committed, id)
+		s.upMu.Unlock()
 		s.unpersist(id)
 		return writeFrame(conn, msgOK, nil)
 

@@ -31,6 +31,12 @@ func opName(typ byte) string {
 		return "stats"
 	case msgSetServing:
 		return "set_serving"
+	case msgPutBegin:
+		return "put_begin"
+	case msgPutChunk:
+		return "put_chunk"
+	case msgPutCommit:
+		return "put_commit"
 	default:
 		return "unknown"
 	}
@@ -54,6 +60,7 @@ type serverTel struct {
 	bytesIn     *telemetry.Counter
 	bytesOut    *telemetry.Counter
 	batchPages  *telemetry.Histogram
+	applySecs   *telemetry.Histogram
 	ops         map[byte]opTel
 }
 
@@ -76,10 +83,14 @@ func newServerTel(r *telemetry.Registry) *serverTel {
 		batchPages: r.Histogram("oasis_memserver_batch_pages",
 			"Pages requested per GetPages batch.",
 			telemetry.ExpBuckets(1, 2, 13)),
+		applySecs: r.Histogram("oasis_memserver_apply_seconds",
+			"Commit-time decode/apply latency of a staged chunked upload.",
+			telemetry.ExpBuckets(1e-5, 2, 20)),
 		ops: make(map[byte]opTel),
 	}
 	for _, typ := range []byte{msgGetPage, msgGetPages, msgPutImage, msgPutDiff,
-		msgDeleteVM, msgStats, msgSetServing, 0 /* unknown */} {
+		msgDeleteVM, msgStats, msgSetServing,
+		msgPutBegin, msgPutChunk, msgPutCommit, 0 /* unknown */} {
 		op := opName(typ)
 		t.ops[typ] = opTel{
 			total: r.Counter("oasis_memserver_ops_total",
@@ -190,6 +201,34 @@ func newPoolTel(r *telemetry.Registry, name string) *poolTel {
 			"Operations dispatched through the pool.", l),
 		lanesOpen: r.Gauge("oasis_client_pool_lanes_open",
 			"Pool lanes whose circuit breaker is currently open.", l),
+	}
+}
+
+// putTel bundles the streaming-upload client instruments. Like the pool
+// metrics they live in the oasis_client_* namespace under the same
+// client label, so one scrape shows an upload's chunk rate next to the
+// lanes carrying it.
+type putTel struct {
+	chunks   *telemetry.Counter
+	inflight *telemetry.Gauge
+	retried  *telemetry.Counter
+}
+
+func newPutTel(r *telemetry.Registry, name string) *putTel {
+	if r == nil {
+		r = telemetry.Default
+	}
+	if name == "" {
+		name = "default"
+	}
+	l := telemetry.L("client", name)
+	return &putTel{
+		chunks: r.Counter("oasis_client_put_chunks_total",
+			"Snapshot chunks shipped by streaming uploads.", l),
+		inflight: r.Gauge("oasis_client_put_inflight",
+			"Upload chunks currently in flight.", l),
+		retried: r.Counter("oasis_client_put_retried_total",
+			"Upload chunks re-issued after a lane-level failure.", l),
 	}
 }
 

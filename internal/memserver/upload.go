@@ -1,0 +1,157 @@
+package memserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// Client side of the chunked streaming upload protocol: split a snapshot
+// into self-contained chunks and ship them concurrently over the pool's
+// lanes, overlapping compression framing, wire transfer and server-side
+// staging the way the prefetch path overlaps batch fetches. With
+// Streams <= 1 the chunks go out sequentially over one lane, which is
+// bit-for-bit the same server-side result as PutImage/PutDiff — the
+// parallel path is a pure latency optimisation.
+
+// DefaultChunkBytes is the streaming-upload chunk budget. 4 MiB keeps a
+// chunk well under the frame ceiling while leaving enough chunks to keep
+// every lane busy for the multi-hundred-MiB images consolidation ships.
+const DefaultChunkBytes = 4 << 20
+
+// chunkRetries bounds uploader-level re-issues of one chunk beyond the
+// lane-level retry budget each attempt already gets.
+const chunkRetries = 2
+
+// PutOptions tunes a streaming upload.
+type PutOptions struct {
+	// Streams is the number of chunks kept in flight concurrently.
+	// <= 1 streams sequentially (same bytes, same result, no overlap).
+	Streams int
+	// ChunkBytes bounds one chunk's encoded size. <= 0 takes
+	// DefaultChunkBytes; values too small for a single raw page are
+	// raised to the minimum by pagestore.SplitSnapshot.
+	ChunkBytes int
+}
+
+func (o PutOptions) withDefaults() PutOptions {
+	if o.Streams <= 0 {
+		o.Streams = 1
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = DefaultChunkBytes
+	}
+	return o
+}
+
+// uploadSeq allocates process-unique upload ids. Uniqueness only matters
+// per VM per server lifetime (the server keys staging by id and remembers
+// the last committed one), so a process-wide counter is plenty.
+var uploadSeq atomic.Uint64
+
+// StreamImage uploads a full snapshot as a VM's image through the
+// chunked streaming protocol. The image becomes visible atomically at
+// commit; a failure anywhere leaves the VM's previous image intact.
+func (p *ClientPool) StreamImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte, opts PutOptions) error {
+	return p.streamUpload(id, putKindImage, alloc, snapshot, opts)
+}
+
+// StreamDiff uploads a differential snapshot through the chunked
+// streaming protocol; the diff applies to the live image atomically at
+// commit after full validation.
+func (p *ClientPool) StreamDiff(id pagestore.VMID, snapshot []byte, opts PutOptions) error {
+	return p.streamUpload(id, putKindDiff, 0, snapshot, opts)
+}
+
+func (p *ClientPool) streamUpload(id pagestore.VMID, kind byte, alloc units.Bytes, snapshot []byte, opts PutOptions) error {
+	opts = opts.withDefaults()
+	chunks, err := pagestore.SplitSnapshot(snapshot, opts.ChunkBytes)
+	if err != nil {
+		return fmt.Errorf("memserver: split snapshot: %w", err)
+	}
+	if len(chunks) > maxUploadChunks {
+		return fmt.Errorf("memserver: snapshot needs %d chunks, limit %d (raise ChunkBytes)", len(chunks), maxUploadChunks)
+	}
+	uploadID := uploadSeq.Add(1)
+	if err := p.do(func(r *ResilientClient) error {
+		return r.PutBegin(id, uploadID, kind, alloc)
+	}); err != nil {
+		return err
+	}
+	if err := p.shipChunks(id, uploadID, chunks, opts.Streams); err != nil {
+		return err
+	}
+	return p.do(func(r *ResilientClient) error {
+		return r.PutCommit(id, uploadID, uint32(len(chunks)))
+	})
+}
+
+// shipChunks sends every chunk, keeping up to streams in flight. Each
+// chunk gets uploader-level re-issues on top of the per-attempt lane
+// retries: a re-issued chunk lands on a (likely) different lane, and the
+// server treats duplicates as idempotent overwrites.
+func (p *ClientPool) shipChunks(id pagestore.VMID, uploadID uint64, chunks [][]byte, streams int) error {
+	send := func(seq int) error {
+		p.putTel.inflight.Inc()
+		defer p.putTel.inflight.Dec()
+		var err error
+		for attempt := 0; attempt <= chunkRetries; attempt++ {
+			if attempt > 0 {
+				p.putTel.retried.Inc()
+			}
+			err = p.do(func(r *ResilientClient) error {
+				return r.PutChunk(id, uploadID, uint32(seq), chunks[seq])
+			})
+			if err == nil {
+				p.putTel.chunks.Inc()
+				return nil
+			}
+		}
+		return fmt.Errorf("chunk %d/%d: %w", seq, len(chunks), err)
+	}
+
+	if streams <= 1 || len(chunks) <= 1 {
+		for seq := range chunks {
+			if err := send(seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if streams > len(chunks) {
+		streams = len(chunks)
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		mu   sync.Mutex
+		errs []error
+	)
+	for w := 0; w < streams; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seq := int(next.Add(1)) - 1
+				if seq >= len(chunks) {
+					return
+				}
+				if err := send(seq); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return fmt.Errorf("memserver: streaming upload: %w", errs[0])
+	}
+	return nil
+}

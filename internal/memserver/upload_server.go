@@ -1,0 +1,226 @@
+package memserver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// Server side of the chunked streaming upload protocol (see proto.go for
+// the framing and DESIGN.md §10 for the crash-atomicity argument). The
+// life of an upload:
+//
+//  1. PutBegin opens a staging entry keyed by VMID. The VM's live image
+//     is not touched.
+//  2. PutChunks accumulate self-contained snapshot chunks, keyed by
+//     sequence number, in any order and over any mix of connections.
+//  3. PutCommit checks every chunk 0..n-1 arrived, decodes them in
+//     parallel, and only then makes the result visible: a full image is
+//     built in a private staging image and swapped into the store; a
+//     diff is fully validated (decode + bounds) before the first page is
+//     written to the live image, so application cannot fail half way.
+//
+// A failure anywhere before the commit's final swap leaves the previous
+// image intact — the degradation path (§7) then serves the stale-but-
+// consistent snapshot exactly as if the upload had never started.
+
+// pendingUpload is one VM's staged, uncommitted upload.
+type pendingUpload struct {
+	uploadID uint64
+	kind     byte
+	alloc    units.Bytes
+	chunks   map[uint32][]byte
+}
+
+// putBegin opens (or idempotently re-opens) a staging upload. A different
+// upload id replaces any stale pending upload for the VM, collecting
+// chunks abandoned by a crashed client.
+func (s *Server) putBegin(id pagestore.VMID, uploadID uint64, kind byte, alloc uint64) error {
+	if kind == putKindDiff {
+		// A diff needs an existing image to land on; reject at begin so
+		// the client learns before shipping chunks.
+		if _, err := s.store.Get(id); err != nil {
+			return err
+		}
+	}
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if p := s.uploads[id]; p != nil && p.uploadID == uploadID {
+		return nil // retried Begin: keep already-staged chunks
+	}
+	s.uploads[id] = &pendingUpload{
+		uploadID: uploadID,
+		kind:     kind,
+		alloc:    units.Bytes(alloc),
+		chunks:   make(map[uint32][]byte),
+	}
+	return nil
+}
+
+// putChunk stages one chunk. Duplicate sequence numbers overwrite (the
+// retried frame carries identical bytes); chunks for an already-committed
+// upload id are acknowledged as no-ops.
+func (s *Server) putChunk(id pagestore.VMID, uploadID uint64, seq uint32, chunk []byte) error {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	p := s.uploads[id]
+	if p == nil || p.uploadID != uploadID {
+		if s.committed[id] == uploadID {
+			return nil // late retry of a chunk whose upload already committed
+		}
+		return fmt.Errorf("no open upload %d for vm %04d (PutBegin first)", uploadID, id)
+	}
+	if _, dup := p.chunks[seq]; !dup && len(p.chunks) >= maxUploadChunks {
+		return fmt.Errorf("upload %d for vm %04d exceeds %d chunks", uploadID, id, maxUploadChunks)
+	}
+	p.chunks[seq] = chunk
+	return nil
+}
+
+// putCommit validates and applies a staged upload atomically. On any
+// error the staging entry survives (the client may re-send missing
+// chunks and retry) and the VM's live image is untouched.
+func (s *Server) putCommit(id pagestore.VMID, uploadID uint64, n uint32) error {
+	s.upMu.Lock()
+	p := s.uploads[id]
+	if p == nil || p.uploadID != uploadID {
+		last, ok := s.committed[id]
+		s.upMu.Unlock()
+		if ok && last == uploadID {
+			return nil // retried Commit after a lost reply: already applied
+		}
+		return fmt.Errorf("no open upload %d for vm %04d", uploadID, id)
+	}
+	chunks := make([][]byte, n)
+	for i := uint32(0); i < n; i++ {
+		c, ok := p.chunks[i]
+		if !ok {
+			s.upMu.Unlock()
+			return fmt.Errorf("upload %d for vm %04d missing chunk %d/%d", uploadID, id, i, n)
+		}
+		chunks[i] = c
+	}
+	if uint32(len(p.chunks)) != n {
+		s.upMu.Unlock()
+		return fmt.Errorf("upload %d for vm %04d has %d chunks, commit says %d", uploadID, id, len(p.chunks), n)
+	}
+	kind, alloc := p.kind, p.alloc
+	s.upMu.Unlock()
+
+	start := time.Now()
+	pages, err := s.applyUpload(id, kind, alloc, chunks)
+	if err != nil {
+		return err
+	}
+	s.tel.applySecs.Observe(sinceSeconds(start))
+	s.pagesUploaded.Add(pages)
+
+	s.upMu.Lock()
+	if cur := s.uploads[id]; cur != nil && cur.uploadID == uploadID {
+		delete(s.uploads, id)
+	}
+	s.committed[id] = uploadID
+	s.upMu.Unlock()
+	return s.persist(id)
+}
+
+// applyUpload decodes the chunks in parallel and installs the result.
+func (s *Server) applyUpload(id pagestore.VMID, kind byte, alloc units.Bytes, chunks [][]byte) (int64, error) {
+	switch kind {
+	case putKindImage:
+		// Build the replacement in a private staging image; the store
+		// swap below is the commit point.
+		im := pagestore.NewImage(alloc)
+		if err := forEachChunk(chunks, func(chunk []byte) error {
+			return pagestore.ApplySnapshot(im, chunk)
+		}); err != nil {
+			return 0, err
+		}
+		s.store.Put(id, im)
+		return im.TouchedPages(), nil
+
+	case putKindDiff:
+		im, err := s.store.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		// Validate every chunk completely — framing, decompression, and
+		// PFN bounds — before the first write lands, so the apply pass
+		// below cannot fail part way through the live image.
+		npages := im.NumPages()
+		if err := forEachChunk(chunks, func(chunk []byte) error {
+			return pagestore.DecodeSnapshot(chunk, func(pfn pagestore.PFN, _ []byte) error {
+				if int64(pfn) >= npages {
+					return fmt.Errorf("%w: pfn %d, allocation %d pages", pagestore.ErrOutOfRange, pfn, npages)
+				}
+				return nil
+			})
+		}); err != nil {
+			return 0, err
+		}
+		var pages atomic.Int64
+		if err := forEachChunk(chunks, func(chunk []byte) error {
+			var n int64
+			err := pagestore.DecodeSnapshot(chunk, func(pfn pagestore.PFN, page []byte) error {
+				n++
+				return im.Write(pfn, page)
+			})
+			pages.Add(n)
+			return err
+		}); err != nil {
+			// Unreachable after validation; surfaced for completeness.
+			return 0, err
+		}
+		return pages.Load(), nil
+
+	default:
+		return 0, fmt.Errorf("unknown upload kind %d", kind)
+	}
+}
+
+// forEachChunk runs fn over every chunk with bounded parallelism. Chunks
+// are independent (self-contained snapshots over disjoint or idempotently
+// overwritten pages), so order does not matter; the target Image's own
+// locking makes concurrent application safe.
+func forEachChunk(chunks [][]byte, fn func([]byte) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers <= 1 {
+		for _, c := range chunks {
+			if err := fn(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(chunks))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(chunks[i])
+			}
+		}()
+	}
+	for i := range chunks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

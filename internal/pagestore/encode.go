@@ -3,6 +3,7 @@ package pagestore
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"oasis/internal/lzf"
 	"oasis/internal/units"
@@ -22,13 +23,75 @@ const (
 	tokenRawBit = 0x8000
 )
 
+// pageEstimate is a process-wide EWMA of the observed encoded size per
+// page entry (the 10-byte entry header included). It seeds the output
+// buffer capacity in EncodePages: the old fixed 128-byte guess forced
+// repeated grow-copies on large detaches of poorly compressing images
+// (an incompressible page encodes to PageSize+10 bytes, 32x the guess).
+// The estimate is a capacity hint only — the encoded bytes are identical
+// whatever its value.
+var pageEstimate atomic.Int64
+
+// defaultPageEstimate is used before any snapshot has been observed:
+// the old guess, which real guest images (zero-heavy, compressible)
+// hover around.
+const defaultPageEstimate = 128
+
+// snapshotCapacity returns the output capacity to reserve for an n-page
+// snapshot, from the observed compressibility of previous encodes.
+func snapshotCapacity(n int) int {
+	per := int(pageEstimate.Load())
+	if per <= 0 {
+		per = defaultPageEstimate
+	}
+	return 8 + n*per
+}
+
+// observeSnapshot folds one encode's realized bytes/page into the
+// estimate (EWMA, 3/4 old + 1/4 new), clamped to the format's actual
+// range: at least a bare entry header, at most a raw entry plus the
+// compressor's worst-case bound.
+func observeSnapshot(pages, encodedBytes int) {
+	if pages <= 0 {
+		return
+	}
+	per := (encodedBytes - 8) / pages
+	if per < 10 {
+		per = 10
+	}
+	if bound := 10 + lzf.CompressBound(int(units.PageSize)); per > bound {
+		per = bound
+	}
+	old := pageEstimate.Load()
+	if old <= 0 {
+		old = defaultPageEstimate
+	}
+	// A racing store may drop a concurrent observation; the estimate is
+	// advisory, so last-writer-wins is fine.
+	pageEstimate.Store((3*old + int64(per)) / 4)
+}
+
 // EncodePages encodes the given pages of the image into a snapshot. Pages
 // that are all zero are encoded with a zero token. The returned byte count
 // is what travels over the SAS link or network.
 func EncodePages(im *Image, pfns []PFN) ([]byte, error) {
-	out := make([]byte, 0, len(pfns)*128)
+	out := make([]byte, 0, snapshotCapacity(len(pfns)))
 	out = append(out, snapMagic...)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(pfns)))
+	out, err := appendPageEntries(out, im, pfns)
+	if err != nil {
+		return nil, err
+	}
+	observeSnapshot(len(pfns), len(out))
+	return out, nil
+}
+
+// appendPageEntries appends the per-page entries (u64 pfn | u16 token |
+// payload) for pfns to out, in order. It is the single definition of the
+// snapshot body, shared by the serial encoder and each shard of the
+// parallel one — which is what makes their outputs byte-identical by
+// construction.
+func appendPageEntries(out []byte, im *Image, pfns []PFN) ([]byte, error) {
 	var comp []byte
 	for _, pfn := range pfns {
 		page, err := im.Read(pfn)
@@ -141,6 +204,25 @@ func EncodePage(page []byte) (token uint16, payload []byte) {
 		return tokenRawBit | uint16(units.PageSize&0x7FFF), page
 	}
 	return uint16(len(comp)), comp
+}
+
+// EncodePageAppend is the allocation-free variant of EncodePage for the
+// page-serving hot path: it appends the wire encoding (u16 token |
+// payload) to out, compressing into scratch, and returns both slices for
+// reuse. A caller looping over pages (the daemon's GetPage/GetPages
+// handlers) amortizes every buffer across the loop instead of paying a
+// fresh compressor allocation per page.
+func EncodePageAppend(out, scratch, page []byte) (newOut, newScratch []byte) {
+	if isZero(page) {
+		return binary.BigEndian.AppendUint16(out, tokenZero), scratch
+	}
+	scratch = lzf.Compress(scratch[:0], page)
+	if len(scratch) >= int(units.PageSize) {
+		out = binary.BigEndian.AppendUint16(out, tokenRawBit|uint16(units.PageSize&0x7FFF))
+		return append(out, page...), scratch
+	}
+	out = binary.BigEndian.AppendUint16(out, uint16(len(scratch)))
+	return append(out, scratch...), scratch
 }
 
 // PageBodyLen returns the payload size implied by a page token, so wire

@@ -1,0 +1,158 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"oasis/internal/units"
+)
+
+// Parallel snapshot encoding (the detach-side counterpart of the
+// pipelined prefetch path): the PFN list is split into contiguous shards,
+// one worker encodes each shard's page entries with its own compressor
+// scratch buffer, and the per-shard segments are stitched behind a single
+// snapshot header. Because the serial format is a pure in-order
+// concatenation of independent per-page encodings (see
+// appendPageEntries), stitching shard segments in shard order reproduces
+// the serial output byte for byte — a property the tests hold across
+// worker counts and page mixes.
+
+// minShardPages is the smallest shard worth a goroutine: below this the
+// per-worker scheduling and stitch copy cost more than the compression
+// they parallelize.
+const minShardPages = 16
+
+// EncodePagesParallel encodes the given pages across up to `workers`
+// goroutines, producing output byte-identical to EncodePages. Values of
+// workers <= 1 (and small PFN lists) take the serial path.
+func EncodePagesParallel(im *Image, pfns []PFN, workers int) ([]byte, error) {
+	if shards := len(pfns) / minShardPages; workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		return EncodePages(im, pfns)
+	}
+	per := (len(pfns) + workers - 1) / workers
+	segs := make([][]byte, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := min(lo+per, len(pfns))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			seg := make([]byte, 0, snapshotCapacity(hi-lo)-8)
+			segs[w], errs[w] = appendPageEntries(seg, im, pfns[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 8
+	for w := range segs {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		total += len(segs[w])
+	}
+	out := make([]byte, 0, total)
+	out = append(out, snapMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(pfns)))
+	for _, seg := range segs {
+		out = append(out, seg...)
+	}
+	observeSnapshot(len(pfns), len(out))
+	return out, nil
+}
+
+// EncodeDirtySinceParallel is EncodeDirtySince over the parallel encoder.
+func EncodeDirtySinceParallel(im *Image, epoch uint64, workers int) ([]byte, int, error) {
+	pfns := im.DirtySince(epoch)
+	data, err := EncodePagesParallel(im, pfns, workers)
+	return data, len(pfns), err
+}
+
+// EncodeAllParallel is EncodeAll over the parallel encoder.
+func EncodeAllParallel(im *Image, workers int) ([]byte, int, error) {
+	pfns := im.AllTouched()
+	data, err := EncodePagesParallel(im, pfns, workers)
+	return data, len(pfns), err
+}
+
+// minSplitChunk is the smallest chunk size SplitSnapshot honours: one
+// header plus the largest possible entry (a raw page), so every entry
+// fits in some chunk.
+var minSplitChunk = 8 + 10 + int(units.PageSize)
+
+// SplitSnapshot splits an encoded snapshot into self-contained snapshot
+// chunks of at most maxChunk bytes each (raised to the single-entry
+// minimum if smaller). Entries are never split: the walk skips over each
+// payload using the token lengths, without decompressing, and re-frames
+// every chunk with its own header. Applying the chunks in any order —
+// page entries are independent — reproduces applying the original, which
+// is what lets the streaming upload path ship them concurrently and the
+// server decode them in parallel. An empty snapshot yields one empty
+// chunk.
+func SplitSnapshot(data []byte, maxChunk int) ([][]byte, error) {
+	if len(data) < 8 || string(data[:4]) != snapMagic {
+		return nil, fmt.Errorf("pagestore: bad snapshot magic")
+	}
+	if maxChunk < minSplitChunk {
+		maxChunk = minSplitChunk
+	}
+	count := binary.BigEndian.Uint32(data[4:8])
+	off := 8
+	var chunks [][]byte
+	var cur []byte
+	var curCount uint32
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		binary.BigEndian.PutUint32(cur[4:8], curCount)
+		chunks = append(chunks, cur)
+		cur, curCount = nil, 0
+	}
+	for i := uint32(0); i < count; i++ {
+		if off+10 > len(data) {
+			return nil, fmt.Errorf("pagestore: truncated snapshot at page %d/%d", i, count)
+		}
+		token := binary.BigEndian.Uint16(data[off+8:])
+		entry := 10
+		if token != tokenZero {
+			if token&tokenRawBit != 0 {
+				entry += int(token &^ tokenRawBit)
+			} else {
+				entry += int(token)
+			}
+		}
+		if off+entry > len(data) {
+			return nil, fmt.Errorf("pagestore: truncated snapshot at page %d/%d", i, count)
+		}
+		if cur != nil && len(cur)+entry > maxChunk {
+			flush()
+		}
+		if cur == nil {
+			cur = make([]byte, 0, maxChunk)
+			cur = append(cur, snapMagic...)
+			cur = append(cur, 0, 0, 0, 0) // count patched in flush
+		}
+		cur = append(cur, data[off:off+entry]...)
+		curCount++
+		off += entry
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("pagestore: %d trailing bytes in snapshot", len(data)-off)
+	}
+	flush()
+	if len(chunks) == 0 {
+		empty := make([]byte, 0, 8)
+		empty = append(empty, snapMagic...)
+		empty = append(empty, 0, 0, 0, 0)
+		chunks = append(chunks, empty)
+	}
+	return chunks, nil
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"oasis/internal/cluster"
+	"oasis/internal/trace"
+)
+
+func runUploadStreams(t *testing.T, streams int, seed uint64) *Result {
+	t.Helper()
+	cc := cluster.DefaultConfig()
+	cc.Policy = cluster.FulltoPartial
+	cc.Model.UploadStreams = streams
+	r, err := Run(Config{Cluster: cc, Kind: trace.Weekday, TraceSeed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestUploadStreamsDeterministic is the acceptance check for the sim side
+// of the parallel detach pipeline: a seeded day with streamed uploads
+// must be bit-identical run to run.
+func TestUploadStreamsDeterministic(t *testing.T) {
+	a := runUploadStreams(t, 4, 42)
+	b := runUploadStreams(t, 4, 42)
+	if a.SavingsPct != b.SavingsPct || a.OasisJoules != b.OasisJoules ||
+		a.BaselineJoules != b.BaselineJoules {
+		t.Fatalf("same seed with streamed uploads, different energy: %.6f vs %.6f",
+			a.OasisJoules, b.OasisJoules)
+	}
+	for i := range a.PoweredSeries {
+		if a.PoweredSeries[i] != b.PoweredSeries[i] || a.ActiveSeries[i] != b.ActiveSeries[i] {
+			t.Fatalf("series diverge at interval %d", i)
+		}
+	}
+	if a.Stats.DetachSample.N() != b.Stats.DetachSample.N() ||
+		a.Stats.DetachSample.Mean() != b.Stats.DetachSample.Mean() ||
+		a.Stats.DetachSample.Max() != b.Stats.DetachSample.Max() {
+		t.Fatal("detach-window distributions diverge between identical runs")
+	}
+}
+
+// TestSerialUploadUnchanged guards the seed behavior: one upload stream
+// (or zero) must reproduce the pre-pipeline arithmetic exactly, detach
+// windows included — the speedup path only touches runs that ask for it.
+func TestSerialUploadUnchanged(t *testing.T) {
+	zero := runUploadStreams(t, 0, 42)
+	one := runUploadStreams(t, 1, 42)
+	if zero.OasisJoules != one.OasisJoules || zero.SavingsPct != one.SavingsPct {
+		t.Fatalf("streams=0 vs streams=1 differ: %.6f vs %.6f J",
+			zero.OasisJoules, one.OasisJoules)
+	}
+	if zero.Stats.DetachSample.N() != one.Stats.DetachSample.N() ||
+		zero.Stats.DetachSample.Mean() != one.Stats.DetachSample.Mean() {
+		t.Fatal("streams=1 changed the detach-window distribution")
+	}
+}
+
+// TestUploadStreamsShortenDetachWindows checks the modeled effect: the
+// parallel detach pipeline shrinks the per-detach busy window (the SAS
+// upload component halves with the default install fraction) without
+// touching placement or energy — the powered/active series and the
+// energy figure must be identical to the serial run, because the detach
+// window feeds only the statistics, never Op.Latency.
+func TestUploadStreamsShortenDetachWindows(t *testing.T) {
+	serial := runUploadStreams(t, 1, 42)
+	streamed := runUploadStreams(t, 4, 42)
+	for i := range serial.PoweredSeries {
+		if serial.PoweredSeries[i] != streamed.PoweredSeries[i] {
+			t.Fatalf("streamed uploads changed placement: powered series diverges at %d", i)
+		}
+		if serial.ActiveSeries[i] != streamed.ActiveSeries[i] {
+			t.Fatalf("streamed uploads changed activity: active series diverges at %d", i)
+		}
+	}
+	if serial.OasisJoules != streamed.OasisJoules {
+		t.Fatalf("streamed uploads changed energy: %.6f vs %.6f J",
+			serial.OasisJoules, streamed.OasisJoules)
+	}
+	if serial.Stats.DetachSample.N() != streamed.Stats.DetachSample.N() {
+		t.Fatal("stream count changed how many detaches happened")
+	}
+	sm, pm := serial.Stats.DetachSample.Mean(), streamed.Stats.DetachSample.Mean()
+	if pm >= sm {
+		t.Fatalf("streamed mean detach window %.3fs not below serial %.3fs", pm, sm)
+	}
+	if sMax, pMax := serial.Stats.DetachSample.Max(), streamed.Stats.DetachSample.Max(); pMax >= sMax {
+		t.Fatalf("streamed max detach window %.3fs not below serial %.3fs", pMax, sMax)
+	}
+	// The transition-delay distribution (reattach side) is untouched by
+	// the detach pipeline.
+	if serial.Stats.DelaySample.Mean() != streamed.Stats.DelaySample.Mean() {
+		t.Fatal("upload streams perturbed the reattach delay distribution")
+	}
+}

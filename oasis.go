@@ -292,6 +292,30 @@ func EncodeImageDiff(im *Image, epoch uint64) (data []byte, pages int, err error
 	return pagestore.EncodeDirtySince(im, epoch)
 }
 
+// EncodeImageParallel is EncodeImage with the snapshot encode sharded
+// across workers goroutines; the output is byte-identical to the serial
+// encoding (workers <= 1 takes the serial path).
+func EncodeImageParallel(im *Image, workers int) (data []byte, pages int, err error) {
+	return pagestore.EncodeAllParallel(im, workers)
+}
+
+// EncodeImageDiffParallel is EncodeImageDiff with the encode sharded
+// across workers goroutines, byte-identical to the serial encoding.
+func EncodeImageDiffParallel(im *Image, epoch uint64, workers int) (data []byte, pages int, err error) {
+	return pagestore.EncodeDirtySinceParallel(im, epoch, workers)
+}
+
+// UploadOptions tunes a MemClientPool's chunked streaming uploads
+// (StreamImage/StreamDiff): concurrent streams and chunk size. The zero
+// value selects defaults (serial, 4 MiB chunks).
+type UploadOptions = memserver.PutOptions
+
+// SplitSnapshot cuts an encoded snapshot into self-contained chunks of
+// at most maxChunk bytes — the unit of the chunked upload protocol.
+func SplitSnapshot(data []byte, maxChunk int) ([][]byte, error) {
+	return pagestore.SplitSnapshot(data, maxChunk)
+}
+
 // ApplySnapshot decodes a snapshot into an image.
 func ApplySnapshot(im *Image, data []byte) error { return pagestore.ApplySnapshot(im, data) }
 
