@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		server   = flag.String("server", "127.0.0.1:7070", "memserverd address")
+		server   = flag.String("server", "127.0.0.1:7070", "memserverd address (ignored when -backends selects a shard fabric)")
 		secret   = flag.String("secret", "", "shared authentication secret (required)")
 		memMiB   = flag.Int("mem", 64, "VM memory size in MiB")
 		touched  = flag.Int("touch", 1000, "pages to fault in on demand")
@@ -31,10 +31,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed for synthetic page contents")
 		prefetch = flag.Bool("prefetch", false, "after touching, prefetch the remaining state (partial→full conversion, §4.4.4)")
 		retries  = flag.Int("retries", 8, "page-fetch attempts before the memtap reports the fault (riding out chaos downtime)")
-		pool     = flag.Int("pool", 1, "pooled memory-server connections for the memtap (1 keeps the serial client)")
-		streams  = flag.Int("prefetch-streams", 1, "pipelined prefetch batches in flight (<=1 is serial)")
-		upStream = flag.Int("upload-streams", 1, "parallel encode shards and chunked upload streams for the image/diff uploads (<=1 is serial)")
 	)
+	// -pool, -prefetch-streams, -upload-streams, -backends and -replicas
+	// come from the shared transport binding all the daemons use.
+	transport := oasis.Transport{PoolSize: 1, PrefetchStreams: 1, UploadStreams: 1}
+	oasis.BindTransportFlags(flag.CommandLine, &transport)
 	flag.Parse()
 	if *secret == "" {
 		log.Fatal("memtapctl: -secret is required")
@@ -71,42 +72,37 @@ func main() {
 		}
 	}
 
-	// Upload the image (the host's pre-suspend upload, §4.3) over a
-	// resilient client: uploads are idempotent, so retries are safe.
-	// With -upload-streams > 1 the encode shards across that many workers
-	// and the snapshot streams as chunks over a connection pool (§4.3's
-	// detach pipeline); the server-side image is identical either way.
-	client, err := oasis.DialMemServerResilient(*server, []byte(*secret), rcfg("upload", *seed+1))
+	// Upload the image (the host's pre-suspend upload, §4.3) through the
+	// one Dial entry point: the options pick the transport shape — a bare
+	// resilient client, a pool of -upload-streams connections, or the
+	// sharded fabric when -backends is set — and the same MemConn calls
+	// work against all of them; the server-side image is identical
+	// either way.
+	upOpts := []oasis.DialOption{oasis.WithResilience(rcfg("upload", *seed+1))}
+	switch {
+	case transport.Sharded():
+		upOpts = append(upOpts,
+			oasis.WithBackends(transport.Backends...),
+			oasis.WithReplicas(transport.Replicas),
+			oasis.WithPool(transport.UploadStreams))
+	case transport.UploadStreams > 1:
+		upOpts = append(upOpts, oasis.WithPool(transport.UploadStreams))
+	}
+	client, err := oasis.Dial(*server, []byte(*secret), upOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	var upPool *oasis.MemClientPool
-	if *upStream > 1 {
-		upPool, err = oasis.DialMemServerPool(*server, []byte(*secret), oasis.MemPoolConfig{
-			Size:       *upStream,
-			Resilience: rcfg("upload-pool", *seed+2),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer upPool.Close()
-	}
-	snap, n, err := oasis.EncodeImageParallel(im, *upStream)
+	snap, n, err := oasis.EncodeImageParallel(im, transport.UploadStreams)
 	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	if upPool != nil {
-		err = upPool.StreamImage(id, alloc, snap, oasis.UploadOptions{Streams: *upStream})
-	} else {
-		err = client.PutImage(id, alloc, snap)
-	}
-	if err != nil {
+	if err := client.StreamImage(id, alloc, snap, oasis.UploadOptions{Streams: transport.UploadStreams}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("uploaded image: %d pages, %d bytes compressed (%.1fx) in %v (%d upload streams)\n",
-		n, len(snap), float64(n)*float64(oasis.PageSize)/float64(len(snap)), time.Since(start), max(*upStream, 1))
+		n, len(snap), float64(n)*float64(oasis.PageSize)/float64(len(snap)), time.Since(start), max(transport.UploadStreams, 1))
 
 	// Create a partial VM from the descriptor and fault pages on demand
 	// through a real memtap.
@@ -114,8 +110,10 @@ func main() {
 	mcfg := rcfg("memtap", *seed)
 	mt, err := oasis.NewMemtapWithOptions(id, *server, []byte(*secret), oasis.MemtapOptions{
 		Resilience:      &mcfg,
-		PoolSize:        *pool,
-		PrefetchStreams: *streams,
+		PoolSize:        transport.PoolSize,
+		PrefetchStreams: transport.PrefetchStreams,
+		Backends:        transport.Backends,
+		Replicas:        transport.Replicas,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -175,16 +173,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	diff, dn, err := oasis.EncodeImageDiffParallel(im, epoch, *upStream)
+	diff, dn, err := oasis.EncodeImageDiffParallel(im, epoch, transport.UploadStreams)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if upPool != nil {
-		err = upPool.StreamDiff(id, diff, oasis.UploadOptions{Streams: *upStream})
-	} else {
-		err = client.PutDiff(id, diff)
-	}
-	if err != nil {
+	if err := client.StreamDiff(id, diff, oasis.UploadOptions{Streams: transport.UploadStreams}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("differential upload: %d dirty pages, %d bytes\n", dn, len(diff))
@@ -202,5 +195,11 @@ func main() {
 	fmt.Printf("resilience (oasis_client_*, degraded %v):\n", mt.Degraded())
 	if err := oasis.WriteMetricsText(os.Stdout, "oasis_client_"); err != nil {
 		log.Fatal(err)
+	}
+	if transport.Sharded() {
+		fmt.Println("shard fabric (oasis_shard_*):")
+		if err := oasis.WriteMetricsText(os.Stdout, "oasis_shard_"); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"log"
 
 	"oasis/internal/agent"
+	"oasis/internal/flagbind"
 	"oasis/internal/telemetry"
 )
 
@@ -26,10 +27,12 @@ func main() {
 		mem         = flag.String("mem", "127.0.0.1:8200", "memory server listen address")
 		secret      = flag.String("secret", "", "shared memory-server secret (required)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address (empty disables); see OBSERVABILITY.md")
-		pool        = flag.Int("pool", 1, "pooled memory-server connections per inbound partial VM (1 keeps the serial client)")
-		streams     = flag.Int("prefetch-streams", 1, "pipelined prefetch batches in flight during partial→full conversion (<=1 is serial)")
-		upStreams   = flag.Int("upload-streams", 1, "parallel snapshot-encode shards and chunked upload streams on the detach path (<=1 is serial)")
 	)
+	// The page-transport knobs (-pool, -prefetch-streams, -upload-streams,
+	// -backends, -replicas) come from the shared binding: one definition
+	// for every daemon (see internal/flagbind).
+	transport := agent.TransportConfig{PoolSize: 1, PrefetchStreams: 1, UploadStreams: 1}
+	flagbind.BindTransport(flag.CommandLine, &transport)
 	flag.Parse()
 	if *secret == "" {
 		log.Fatal("oasis-agentd: -secret is required")
@@ -42,7 +45,7 @@ func main() {
 		log.Printf("oasis-agentd: telemetry on http://%s/metrics", ts.Addr())
 	}
 	a := agent.New(*name, []byte(*secret), log.Printf)
-	a.SetTransport(agent.TransportConfig{PoolSize: *pool, PrefetchStreams: *streams, UploadStreams: *upStreams})
+	a.SetTransport(transport)
 	if err := a.Start(*rpc, *mem); err != nil {
 		log.Fatal(err)
 	}

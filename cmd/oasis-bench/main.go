@@ -41,18 +41,24 @@ func main() {
 
 	if *jsonOut != "" {
 		// -experiment selects which transport benchmark the JSON carries:
-		// "detach" for the upload pipeline, anything else (including the
-		// default "all") keeps the original reattach benchmark.
+		// "detach" for the upload pipeline, "shard" for the sharded
+		// fabric, anything else (including the default "all") keeps the
+		// original reattach benchmark.
 		var (
 			bench   any
 			speedup float64
 			err     error
 		)
-		if strings.ToLower(*experiment) == "detach" {
+		switch strings.ToLower(*experiment) {
+		case "detach":
 			var b experiments.DetachBench
 			b, err = experiments.Detach(opt)
 			bench, speedup = b, b.Model.Speedup
-		} else {
+		case "shard":
+			var b experiments.ShardBench
+			b, err = experiments.Shard(opt)
+			bench, speedup = b, b.Model.Speedup
+		default:
 			var b experiments.ReattachBench
 			b, err = experiments.Reattach(opt)
 			bench, speedup = b, b.Model.Speedup

@@ -57,7 +57,7 @@ func ExampleNewMemServer() {
 		fmt.Println(err)
 		return
 	}
-	client, err := oasis.DialMemServer(addr.String(), secret, 2*time.Second)
+	client, err := oasis.Dial(addr.String(), secret, oasis.WithTimeout(2*time.Second))
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -87,4 +87,108 @@ func ExampleNewMemServer() {
 	fmt.Printf("faulted page byte: %d after %d fault(s)\n", got[0], mt.Faults())
 	// Output:
 	// faulted page byte: 42 after 1 fault(s)
+}
+
+// ExampleDial shows the one dial entry point: the options pick the
+// transport shape — here a pool of resilient connections — and the same
+// MemConn calls work whatever shape was selected.
+func ExampleDial() {
+	secret := []byte("example")
+	srv := oasis.NewMemServer(secret, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Close()
+
+	conn, err := oasis.Dial(addr.String(), secret,
+		oasis.WithResilience(oasis.ResilienceConfig{Name: "example"}),
+		oasis.WithPool(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer conn.Close()
+
+	im := oasis.NewImage(4 * oasis.MiB)
+	page := make([]byte, oasis.PageSize)
+	page[0] = 7
+	if err := im.Write(5, page); err != nil {
+		fmt.Println(err)
+		return
+	}
+	snap, _, err := oasis.EncodeImage(im)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := conn.PutImage(9, 4*oasis.MiB, snap); err != nil {
+		fmt.Println(err)
+		return
+	}
+	got, err := conn.GetPage(9, 5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("page byte through the pooled conn: %d\n", got[0])
+	// Output:
+	// page byte through the pooled conn: 7
+}
+
+// ExampleDial_shardFabric uploads through a sharded, replicated
+// memory-server fabric and reads back after a backend outage: with
+// 2-way replication, killing one of three backends costs failover
+// latency, not failed reads.
+func ExampleDial_shardFabric() {
+	secret := []byte("example")
+	backends := make([]string, 3)
+	servers := make([]*oasis.MemServer, 3)
+	for i := range servers {
+		servers[i] = oasis.NewMemServer(secret, nil)
+		addr, err := servers[i].Listen("127.0.0.1:0")
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		defer servers[i].Close()
+		backends[i] = addr.String()
+	}
+
+	fabric, err := oasis.Dial("", secret,
+		oasis.WithBackends(backends...),
+		oasis.WithReplicas(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer fabric.Close()
+
+	im := oasis.NewImage(8 * oasis.MiB)
+	page := make([]byte, oasis.PageSize)
+	page[0] = 42
+	if err := im.Write(321, page); err != nil {
+		fmt.Println(err)
+		return
+	}
+	snap, _, err := oasis.EncodeImage(im)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := fabric.PutImage(3, 8*oasis.MiB, snap); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	servers[1].Close() // one shard dies
+	got, err := fabric.GetPage(3, 321)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("page byte after a shard outage: %d\n", got[0])
+	// Output:
+	// page byte after a shard outage: 42
 }

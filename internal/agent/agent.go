@@ -20,8 +20,10 @@ import (
 	"net"
 	"sync"
 
+	"oasis/internal/flagbind"
 	"oasis/internal/hypervisor"
 	"oasis/internal/memserver"
+	"oasis/internal/memserver/shard"
 	"oasis/internal/memtap"
 	"oasis/internal/pagestore"
 	"oasis/internal/telemetry"
@@ -126,9 +128,12 @@ type Agent struct {
 	// upPool is the lazily-dialed connection pool to this host's own
 	// memory server, used for chunked streaming uploads when
 	// transport.UploadStreams > 1 (the serial path installs host-locally
-	// through a.mem instead).
+	// through a.mem instead). fabric is its sharded counterpart: the
+	// lazily-dialed shard client over transport.Backends, used for both
+	// upload shapes when the transport is sharded.
 	upPoolMu sync.Mutex
 	upPool   *memserver.ClientPool
+	fabric   *shard.Client
 
 	tel *agentTel
 }
@@ -142,11 +147,12 @@ type Agent struct {
 // memory server (<= 1 keeps the serial encode + one-shot upload). Zero
 // fields select the serial defaults, preserving the pre-pooling
 // behaviour.
-type TransportConfig struct {
-	PoolSize        int
-	PrefetchStreams int
-	UploadStreams   int
-}
+//
+// It is the shared flagbind.Transport: when Backends is non-empty the
+// agent detaches to (and hands partial VMs pages from) a sharded,
+// replicated memory-server fabric instead of its own host-local daemon,
+// with Replicas copies of every page range.
+type TransportConfig = flagbind.Transport
 
 // SetTransport configures the page-transport layer for partial VMs
 // received after the call; it does not retrofit memtaps already running.
@@ -204,6 +210,10 @@ func (a *Agent) Close() error {
 	if a.upPool != nil {
 		a.upPool.Close()
 		a.upPool = nil
+	}
+	if a.fabric != nil {
+		a.fabric.Close()
+		a.fabric = nil
 	}
 	a.upPoolMu.Unlock()
 	var err error
@@ -264,10 +274,14 @@ type MigrateArgs struct {
 	Dest string         `json:"dest"` // destination agent RPC address
 }
 
-// receivePartialArgs carries a partial-VM hand-off.
+// receivePartialArgs carries a partial-VM hand-off. Backends/Replicas,
+// when set, tell the destination the pages live on a shard fabric
+// rather than the single server at MemAddr.
 type receivePartialArgs struct {
-	Desc    string `json:"desc"` // base64 gob descriptor
-	MemAddr string `json:"mem_addr"`
+	Backends []string `json:"backends,omitempty"`
+	Replicas int      `json:"replicas,omitempty"`
+	Desc     string   `json:"desc"` // base64 gob descriptor
+	MemAddr  string   `json:"mem_addr"`
 }
 
 // receiveFullArgs carries the first round of a full migration. Staged
@@ -476,11 +490,68 @@ func (a *Agent) uploadPool(streams int) (*memserver.ClientPool, error) {
 	return p, nil
 }
 
-// uploadImage ships a full snapshot to the host's memory server: chunked
-// streaming over UploadStreams concurrent connections when > 1, else the
-// host-local (SAS) install. Both paths swap the image in atomically.
+// fabricConn returns, dialing on first use, the shard-fabric client
+// over transport.Backends. Callers have already checked Sharded().
+func (a *Agent) fabricConn() (*shard.Client, error) {
+	a.mu.Lock()
+	backends := append([]string(nil), a.transport.Backends...)
+	replicas := a.transport.Replicas
+	pool := a.transport.PoolSize
+	a.mu.Unlock()
+	a.upPoolMu.Lock()
+	defer a.upPoolMu.Unlock()
+	if a.fabric != nil {
+		return a.fabric, nil
+	}
+	f, err := shard.Dial(backends, a.secret, shard.Config{
+		Replicas: replicas,
+		Pool: memserver.PoolConfig{
+			Size:       pool,
+			Resilience: memserver.ResilientConfig{Name: "agent-fabric"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.fabric = f
+	return f, nil
+}
+
+// sharded reports whether detach uploads target a shard fabric instead
+// of the host's own memory server.
+func (a *Agent) sharded() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.transport.Sharded()
+}
+
+// deleteImage frees a VM's memory-server image wherever the transport
+// put it: every fabric backend when sharded, else the host-local store.
+// Cleanup is best-effort — a missing image is not an error.
+func (a *Agent) deleteImage(id pagestore.VMID) {
+	if a.sharded() {
+		if f, err := a.fabricConn(); err == nil {
+			f.Delete(id) //nolint:errcheck // best-effort cleanup
+		}
+		return
+	}
+	a.mem.Store().Delete(id)
+}
+
+// uploadImage ships a full snapshot to the VM's memory backend: the
+// shard fabric when the transport is sharded, otherwise chunked
+// streaming over UploadStreams concurrent connections when > 1, else
+// the host-local (SAS) install. Every path swaps the image in
+// atomically.
 func (a *Agent) uploadImage(id pagestore.VMID, alloc units.Bytes, snap []byte) error {
 	streams := a.uploadStreams()
+	if a.sharded() {
+		f, err := a.fabricConn()
+		if err != nil {
+			return err
+		}
+		return f.StreamImage(id, alloc, snap, memserver.PutOptions{Streams: streams})
+	}
 	if streams <= 1 {
 		return a.mem.InstallImage(id, alloc, snap)
 	}
@@ -495,6 +566,13 @@ func (a *Agent) uploadImage(id pagestore.VMID, alloc units.Bytes, snap []byte) e
 // full ones.
 func (a *Agent) uploadDiff(id pagestore.VMID, snap []byte) error {
 	streams := a.uploadStreams()
+	if a.sharded() {
+		f, err := a.fabricConn()
+		if err != nil {
+			return err
+		}
+		return f.StreamDiff(id, snap, memserver.PutOptions{Streams: streams})
+	}
 	if streams <= 1 {
 		return a.mem.ApplyDiff(id, snap)
 	}
@@ -567,10 +645,15 @@ func (a *Agent) handlePartialMigrate(params json.RawMessage) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := peer.Call("Agent.ReceivePartial", receivePartialArgs{
-		Desc:    base64.StdEncoding.EncodeToString(enc),
-		MemAddr: a.memAddr.String(),
-	}, nil); err != nil {
+	a.mu.Lock()
+	handoff := receivePartialArgs{
+		Desc:     base64.StdEncoding.EncodeToString(enc),
+		MemAddr:  a.memAddr.String(),
+		Backends: append([]string(nil), a.transport.Backends...),
+		Replicas: a.transport.Replicas,
+	}
+	a.mu.Unlock()
+	if err := peer.Call("Agent.ReceivePartial", handoff, nil); err != nil {
 		return nil, err
 	}
 
@@ -607,6 +690,8 @@ func (a *Agent) handleReceivePartial(params json.RawMessage) (any, error) {
 	mt, err := memtap.NewWithOptions(desc.VMID, args.MemAddr, a.secret, memtap.Options{
 		PoolSize:        tc.PoolSize,
 		PrefetchStreams: tc.PrefetchStreams,
+		Backends:        args.Backends,
+		Replicas:        args.Replicas,
 	})
 	if err != nil {
 		return nil, err
@@ -743,7 +828,7 @@ func (a *Agent) handleFullMigrate(params json.RawMessage) (any, error) {
 	a.mu.Lock()
 	delete(a.vms, args.VMID)
 	a.mu.Unlock()
-	a.mem.Store().Delete(args.VMID)
+	a.deleteImage(args.VMID)
 	a.tel.migrations("full_live").Inc()
 	a.logf("agent %s: live migrated vm %04d to %s (%d pre-copy rounds, %d stop-and-copy pages)",
 		a.Name, args.VMID, args.Dest, rounds+1, len(final))
@@ -785,7 +870,7 @@ func (a *Agent) handlePostCopyMigrate(params json.RawMessage) (any, error) {
 	a.mu.Lock()
 	delete(a.vms, args.VMID)
 	a.mu.Unlock()
-	a.mem.Store().Delete(args.VMID)
+	a.deleteImage(args.VMID)
 	a.tel.migrations("post_copy").Inc()
 	a.logf("agent %s: post-copy migrated vm %04d to %s", a.Name, args.VMID, args.Dest)
 	return nil, nil

@@ -3,6 +3,7 @@ package agent
 import (
 	"testing"
 
+	"oasis/internal/memserver"
 	"oasis/internal/pagestore"
 	"oasis/internal/units"
 )
@@ -112,6 +113,90 @@ func TestStreamedUploadPartialLifecycle(t *testing.T) {
 		}
 		if got[0] != want {
 			t.Fatalf("pfn %d = %x after differential streamed upload, want %x", pfn, got[0], want)
+		}
+	}
+}
+
+// startFabric brings up n standalone memory-server daemons sharing the
+// agents' secret — the rack's shard fabric.
+func startFabric(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := memserver.NewServer(secret, nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = addr.String()
+	}
+	return addrs
+}
+
+// TestShardedTransportPartialLifecycle detaches to a 3-backend, 2-replica
+// shard fabric instead of the source's own memory server: the image
+// partitions across the fabric, the destination memtap routes faults by
+// placement, dirty state reintegrates home, and a differential re-detach
+// flows through the same fabric.
+func TestShardedTransportPartialLifecycle(t *testing.T) {
+	m, agents := startHosts(t, 2)
+	backends := startFabric(t, 3)
+	for _, a := range agents {
+		a.SetTransport(TransportConfig{
+			PoolSize:        2,
+			PrefetchStreams: 2,
+			UploadStreams:   2,
+			Backends:        backends,
+			Replicas:        2,
+		})
+	}
+	src, dst := agents[0].Name, agents[1].Name
+	if err := m.CreateVMOn(src, CreateVMArgs{VMID: 34, Alloc: 8 * units.MiB}); err != nil {
+		t.Fatal(err)
+	}
+	for pfn := pagestore.PFN(40); pfn < 120; pfn++ {
+		if err := m.WritePage(src, 34, pfn, page(byte(pfn%250+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.PartialMigrate(34, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	// The source's own memory server holds nothing; the fabric does.
+	if agents[0].mem.Store().Len() != 0 {
+		t.Fatal("sharded detach still uploaded to the host-local memory server")
+	}
+	for pfn := pagestore.PFN(40); pfn < 120; pfn += 7 {
+		got, err := m.ReadPage(dst, 34, pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(pfn%250+1) {
+			t.Fatalf("pfn %d = %x through the shard fabric", pfn, got[0])
+		}
+	}
+	// Dirty a page at the consolidation host, reintegrate, re-detach: the
+	// second upload is a differential through the fabric.
+	if err := m.WritePage(dst, 34, 80, page(0xCD)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reintegrate(34, dst, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePage(src, 34, 81, page(0xEF)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PartialMigrate(34, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	for pfn, want := range map[pagestore.PFN]byte{80: 0xCD, 81: 0xEF, 90: 91} {
+		got, err := m.ReadPage(dst, 34, pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("pfn %d = %x after differential fabric upload, want %x", pfn, got[0], want)
 		}
 	}
 }

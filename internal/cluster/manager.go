@@ -474,6 +474,12 @@ func (c *Cluster) partialMigrate(v *vm.VM, dest *host.Host) (time.Duration, bool
 	// so the powered/energy series are bit-identical across stream
 	// counts.
 	c.Stats.DetachSample.Add(c.Cfg.Model.DetachWindow(op).Seconds())
+	// Same contract for the shard fabric: Model.Shards > 1 spreads the
+	// upload across concurrently-ingesting backends, shrinking only the
+	// recorded window, never the placement-driving latency.
+	if c.Cfg.Model.Shards > 1 {
+		c.Stats.ShardSample.Add(c.Cfg.Model.ShardWindow(op).Seconds())
+	}
 	if first {
 		c.Stats.Ops.Inc("partial-first", 1)
 	} else {

@@ -94,6 +94,8 @@ func ByID(id string, opt Option) (Report, bool) {
 		return ReattachReport(opt), true
 	case "detach":
 		return DetachReport(opt), true
+	case "shard":
+		return ShardReport(opt), true
 	case "ab-diff":
 		return AblationDifferentialUpload(opt), true
 	case "ab-lzf":
@@ -119,6 +121,6 @@ func ByID(id string, opt Option) (Report, bool) {
 // the ablations.
 func IDs() []string {
 	return []string{"fig1", "fig2", "table1", "fig5", "traffic", "fig6",
-		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3", "reattach", "detach",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3", "reattach", "detach", "shard",
 		"ab-diff", "ab-lzf", "ab-shared", "ab-elide", "ab-place", "ab-order", "ab-headroom", "ab-power"}
 }

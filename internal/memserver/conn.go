@@ -1,0 +1,62 @@
+package memserver
+
+import (
+	"time"
+
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// Conn is the full client surface of the memory-server protocol: page
+// reads (plain and staged), image/diff uploads (one-shot and streamed),
+// lifecycle, and counters. Every transport this package builds satisfies
+// it — the single-connection Client, the reconnecting ResilientClient,
+// the multi-lane ClientPool — and so does the sharded fabric client in
+// the shard subpackage. The facade's Dial returns a Conn, which is what
+// lets one call site scale from a bare connection to a replicated
+// fabric purely through dial options.
+type Conn interface {
+	GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error)
+	GetPageStaged(id pagestore.VMID, pfn pagestore.PFN) (page []byte, wire, decompress time.Duration, err error)
+	GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestore.PFN][]byte, error)
+	PutImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte) error
+	PutDiff(id pagestore.VMID, snapshot []byte) error
+	StreamImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte, opts PutOptions) error
+	StreamDiff(id pagestore.VMID, snapshot []byte, opts PutOptions) error
+	Delete(id pagestore.VMID) error
+	SetServing(on bool) error
+	Stats() (Stats, error)
+	Close() error
+}
+
+// StreamImage on a single connection has no lanes to overlap chunks on,
+// so it takes the one-shot path: PutImage ships the same bytes and the
+// image becomes visible in the same atomic swap. The method exists so a
+// bare Client satisfies Conn and upload call sites need not branch on
+// transport shape.
+func (c *Client) StreamImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte, opts PutOptions) error {
+	return c.PutImage(id, alloc, snapshot)
+}
+
+// StreamDiff is StreamImage's differential counterpart (see there).
+func (c *Client) StreamDiff(id pagestore.VMID, snapshot []byte, opts PutOptions) error {
+	return c.PutDiff(id, snapshot)
+}
+
+// StreamImage over one resilient connection delegates to PutImage:
+// identical bytes and commit semantics, with the mutating retry budget
+// (see Client.StreamImage for why there is nothing to overlap).
+func (r *ResilientClient) StreamImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte, opts PutOptions) error {
+	return r.PutImage(id, alloc, snapshot)
+}
+
+// StreamDiff is StreamImage's differential counterpart (see there).
+func (r *ResilientClient) StreamDiff(id pagestore.VMID, snapshot []byte, opts PutOptions) error {
+	return r.PutDiff(id, snapshot)
+}
+
+var (
+	_ Conn = (*Client)(nil)
+	_ Conn = (*ResilientClient)(nil)
+	_ Conn = (*ClientPool)(nil)
+)

@@ -1,0 +1,489 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"oasis/internal/memserver"
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// Config tunes a shard fabric client. The zero value gives 2-way
+// replication over 4-MiB page ranges with default pools.
+type Config struct {
+	// Replicas is the number of backends each page range is written to
+	// (and may be read from). <= 0 takes DefaultReplicas; values above
+	// the backend count are clamped.
+	Replicas int
+	// RangePages is the placement-unit size in pages: contiguous ranges
+	// of this many pages share a replica set. <= 0 takes
+	// DefaultRangePages.
+	RangePages int
+	// Vnodes is the ring points per backend. <= 0 takes DefaultVnodes.
+	Vnodes int
+	// Pool configures every backend's connection pool. The resilience
+	// Name (default "shard") is suffixed with the backend index so each
+	// backend's oasis_client_* series stay distinguishable, and the
+	// JitterSeed is perturbed per backend to de-correlate reconnect
+	// storms across the fabric.
+	Pool memserver.PoolConfig
+	// Dialer overrides how one backend connection is established (tests
+	// and chaos harnesses wrap the transport, TLS deployments dial with
+	// a cert pool). Nil uses memserver.Dial with the fabric secret.
+	Dialer func(addr string) (*memserver.Client, error)
+}
+
+// Client fans memory-server operations out over a consistent-hash ring
+// of backends. It implements the same read surface as a single
+// memserver.ClientPool (memtap.PageClient, staged fetches, breaker
+// reporting) and the same upload surface the agent's detach pipeline
+// uses (PutImage/PutDiff/StreamImage/StreamDiff), so every existing
+// consumer can point at a fabric instead of one daemon.
+//
+// Writes are strict: every replica must acknowledge, because the caller
+// holds the authoritative image and an explicit failure beats silent
+// under-replication. Reads try replicas in ring order, skipping
+// backends whose breaker is open and failing over on error; with
+// Replicas >= 2 a single shard outage costs latency, not faults.
+//
+// Client is safe for concurrent use.
+type Client struct {
+	ring     *Ring
+	backends []string
+	pools    []*memserver.ClientPool
+	tel      *shardTel
+}
+
+// The fabric client is a full memserver.Conn: anything that can talk to
+// one daemon can talk to a fabric.
+var _ memserver.Conn = (*Client)(nil)
+
+// Dial connects a shard client to the fabric at addrs. Like
+// memserver.DialPool, the first lane of every backend dials eagerly so
+// a bad address or secret surfaces immediately; afterwards each lane
+// heals itself independently and a dead backend only affects the ranges
+// it owns.
+func Dial(addrs []string, secret []byte, cfg Config) (*Client, error) {
+	c, err := New(addrs, secret, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.pools))
+	for i := range c.pools {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stats is the cheapest op that proves address + secret; it
+			// also warms the pool's first lane.
+			_, errs[i] = c.pools[i].Stats()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard: backend %d (%s): %w", i, addrs[i], err)
+		}
+	}
+	return c, nil
+}
+
+// New builds a shard client without connecting; backends dial on first
+// use. Tests and chaos harnesses use it to build fabrics over injected
+// transports.
+func New(addrs []string, secret []byte, cfg Config) (*Client, error) {
+	ring, err := NewRing(addrs, cfg.Replicas, cfg.RangePages, cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	secret = append([]byte(nil), secret...)
+	base := cfg.Pool.Resilience
+	if base.Name == "" {
+		base.Name = "shard"
+	}
+	c := &Client{
+		ring:     ring,
+		backends: append([]string(nil), addrs...),
+		pools:    make([]*memserver.ClientPool, len(addrs)),
+		tel:      newShardTel(base.Registry, len(addrs)),
+	}
+	for i, addr := range addrs {
+		pcfg := cfg.Pool
+		pcfg.Resilience = base
+		pcfg.Resilience.Name = base.Name + "-" + strconv.Itoa(i)
+		pcfg.Resilience.JitterSeed ^= uint64(i+1) * 0xD6E8FEB86659FD93
+		if cfg.Dialer != nil {
+			addr := addr
+			dial := cfg.Dialer
+			pcfg.Resilience.Dialer = func() (*memserver.Client, error) { return dial(addr) }
+		} else {
+			addr := addr
+			timeout := pcfg.Resilience.DialTimeout
+			pcfg.Resilience.Dialer = func() (*memserver.Client, error) {
+				return memserver.Dial(addr, secret, timeout)
+			}
+		}
+		c.pools[i] = memserver.NewPool(pcfg)
+	}
+	c.tel.replicas.Set(float64(ring.Replicas()))
+	return c, nil
+}
+
+// Ring exposes the placement ring (tests, diagnostics).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Backends returns the fabric's backend addresses in ring order.
+func (c *Client) Backends() []string { return append([]string(nil), c.backends...) }
+
+// Close shuts every backend pool down. Like the pools themselves, the
+// client may still be used afterwards; lanes reconnect on demand.
+func (c *Client) Close() error {
+	var first error
+	for _, p := range c.pools {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BreakerState aggregates across backends the way a pool aggregates
+// across lanes: the fabric is Open only when every backend's pool is
+// open (no shard can serve anything), HalfOpen when nothing is closed
+// but a probe is in flight somewhere.
+func (c *Client) BreakerState() memserver.BreakerState {
+	allOpen, anyHalf := true, false
+	for _, p := range c.pools {
+		switch p.BreakerState() {
+		case memserver.BreakerOpen:
+		case memserver.BreakerHalfOpen:
+			anyHalf = true
+			allOpen = false
+		default:
+			return memserver.BreakerClosed
+		}
+	}
+	if allOpen {
+		return memserver.BreakerOpen
+	}
+	if anyHalf {
+		return memserver.BreakerHalfOpen
+	}
+	return memserver.BreakerClosed
+}
+
+// ResilienceStats sums the backend pools' counters; State is the
+// fabric aggregate.
+func (c *Client) ResilienceStats() memserver.ResilienceStats {
+	var out memserver.ResilienceStats
+	for _, p := range c.pools {
+		st := p.ResilienceStats()
+		out.Retries += st.Retries
+		out.Reconnects += st.Reconnects
+		out.Failures += st.Failures
+		out.BreakerOpens += st.BreakerOpens
+	}
+	out.State = c.BreakerState()
+	return out
+}
+
+// readFrom runs a read against the page's replicas in ring order:
+// backends with an open breaker are deferred (not skipped — if every
+// replica is open the primary is still tried, riding its half-open
+// probe), and a failed fetch fails over to the next replica.
+func (c *Client) readFrom(id pagestore.VMID, pfn pagestore.PFN, fn func(p *memserver.ClientPool) error) error {
+	owners := c.ring.Owners(id, pfn)
+	var lastErr error
+	tried := 0
+	// First pass: replicas whose breaker is not open.
+	for _, b := range owners {
+		if c.pools[b].BreakerState() == memserver.BreakerOpen {
+			continue
+		}
+		if tried > 0 {
+			c.tel.failovers.Inc()
+		}
+		tried++
+		if err := fn(c.pools[b]); err != nil {
+			lastErr = err
+			continue
+		}
+		c.tel.reads[b].Inc()
+		return nil
+	}
+	// Second pass: everyone was open or failed; try the open replicas
+	// anyway so a recovering backend's half-open probe can serve us.
+	for _, b := range owners {
+		if c.pools[b].BreakerState() != memserver.BreakerOpen {
+			continue
+		}
+		if tried > 0 {
+			c.tel.failovers.Inc()
+		}
+		tried++
+		if err := fn(c.pools[b]); err != nil {
+			lastErr = err
+			continue
+		}
+		c.tel.reads[b].Inc()
+		return nil
+	}
+	c.tel.readErrs.Inc()
+	if lastErr == nil {
+		lastErr = memserver.ErrCircuitOpen
+	}
+	return fmt.Errorf("shard: vm %04d pfn %d: all %d replicas failed: %w", id, pfn, len(owners), lastErr)
+}
+
+// GetPage fetches one guest page from the range's replica set.
+func (c *Client) GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
+	var page []byte
+	err := c.readFrom(id, pfn, func(p *memserver.ClientPool) error {
+		var err error
+		page, err = p.GetPage(id, pfn)
+		return err
+	})
+	return page, err
+}
+
+// GetPageStaged fetches one page with wire/decompress stage timings
+// (from the replica that served it), so shard-backed memtaps keep their
+// fault-path stage attribution.
+func (c *Client) GetPageStaged(id pagestore.VMID, pfn pagestore.PFN) (page []byte, wire, decompress time.Duration, err error) {
+	err = c.readFrom(id, pfn, func(p *memserver.ClientPool) error {
+		var err error
+		page, wire, decompress, err = p.GetPageStaged(id, pfn)
+		return err
+	})
+	return page, wire, decompress, err
+}
+
+// GetPages fetches a batch of pages. The batch is grouped by replica
+// set — with range-aligned batches (the prefetcher's default) a whole
+// batch is one group on one shard — and the groups fetch concurrently,
+// each failing over independently.
+func (c *Client) GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestore.PFN][]byte, error) {
+	if len(pfns) == 0 {
+		return map[pagestore.PFN][]byte{}, nil
+	}
+	groups := c.groupByOwners(id, pfns)
+	out := make(map[pagestore.PFN][]byte, len(pfns))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g ownerGroup) {
+			defer wg.Done()
+			// All pages in the group share owners; failover routes the
+			// whole group through readFrom keyed by its first page.
+			err := c.readFrom(id, g.pfns[0], func(p *memserver.ClientPool) error {
+				pages, err := p.GetPages(id, g.pfns)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				for pfn, pg := range pages {
+					out[pfn] = pg
+				}
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ownerGroup is a run of pages sharing one replica set.
+type ownerGroup struct {
+	key  string
+	pfns []pagestore.PFN
+}
+
+// groupByOwners splits a PFN batch into groups with identical replica
+// sets, preserving order within each group.
+func (c *Client) groupByOwners(id pagestore.VMID, pfns []pagestore.PFN) []ownerGroup {
+	idx := make(map[string]int)
+	var groups []ownerGroup
+	var owners []int
+	var key []byte
+	for _, pfn := range pfns {
+		owners = c.ring.appendOwners(owners[:0], id, pfn)
+		key = key[:0]
+		for _, o := range owners {
+			key = append(key, byte(o), byte(o>>8))
+		}
+		k := string(key)
+		i, ok := idx[k]
+		if !ok {
+			i = len(groups)
+			idx[k] = i
+			groups = append(groups, ownerGroup{key: k})
+		}
+		groups[i].pfns = append(groups[i].pfns, pfn)
+	}
+	return groups
+}
+
+// eachBackend runs fn on every backend concurrently and returns the
+// first error (strict all-success, see the Client comment).
+func (c *Client) eachBackend(fn func(b int, p *memserver.ClientPool) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.pools))
+	for i := range c.pools {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i, c.pools[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard: backend %d (%s): %w", i, c.backends[i], err)
+		}
+	}
+	return nil
+}
+
+// partition splits a snapshot into the per-backend sub-snapshots the
+// placement dictates, every page going to each of its replicas.
+func (c *Client) partition(id pagestore.VMID, snapshot []byte) ([][]byte, error) {
+	var owners []int
+	parts, err := pagestore.PartitionSnapshot(snapshot, len(c.pools), func(pfn pagestore.PFN) []int {
+		owners = c.ring.appendOwners(owners[:0], id, pfn)
+		return owners
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: partition snapshot: %w", err)
+	}
+	return parts, nil
+}
+
+// PutImage uploads a full image, partitioned so each backend stores the
+// page ranges it owns (as primary or replica). Every backend receives
+// an image — possibly holding no pages — so the whole fabric knows the
+// VM and later diffs and deletes are well-defined everywhere.
+func (c *Client) PutImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte) error {
+	parts, err := c.partition(id, snapshot)
+	if err != nil {
+		return err
+	}
+	return c.eachBackend(func(b int, p *memserver.ClientPool) error {
+		if err := p.PutImage(id, alloc, parts[b]); err != nil {
+			return err
+		}
+		c.tel.writes[b].Inc()
+		c.tel.bytes[b].Add(float64(len(parts[b])))
+		return nil
+	})
+}
+
+// PutDiff applies a differential snapshot, partitioned like PutImage.
+func (c *Client) PutDiff(id pagestore.VMID, snapshot []byte) error {
+	parts, err := c.partition(id, snapshot)
+	if err != nil {
+		return err
+	}
+	return c.eachBackend(func(b int, p *memserver.ClientPool) error {
+		if err := p.PutDiff(id, parts[b]); err != nil {
+			return err
+		}
+		c.tel.writes[b].Inc()
+		c.tel.bytes[b].Add(float64(len(parts[b])))
+		return nil
+	})
+}
+
+// StreamImage uploads a full image through each backend's chunked
+// streaming path, all backends in parallel (the detach pipeline's
+// per-server overlap, multiplied across the fabric).
+func (c *Client) StreamImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte, opts memserver.PutOptions) error {
+	parts, err := c.partition(id, snapshot)
+	if err != nil {
+		return err
+	}
+	return c.eachBackend(func(b int, p *memserver.ClientPool) error {
+		if err := p.StreamImage(id, alloc, parts[b], opts); err != nil {
+			return err
+		}
+		c.tel.writes[b].Inc()
+		c.tel.bytes[b].Add(float64(len(parts[b])))
+		return nil
+	})
+}
+
+// StreamDiff uploads a differential snapshot through each backend's
+// chunked streaming path.
+func (c *Client) StreamDiff(id pagestore.VMID, snapshot []byte, opts memserver.PutOptions) error {
+	parts, err := c.partition(id, snapshot)
+	if err != nil {
+		return err
+	}
+	return c.eachBackend(func(b int, p *memserver.ClientPool) error {
+		if err := p.StreamDiff(id, parts[b], opts); err != nil {
+			return err
+		}
+		c.tel.writes[b].Inc()
+		c.tel.bytes[b].Add(float64(len(parts[b])))
+		return nil
+	})
+}
+
+// Delete frees the VM's image on every backend.
+func (c *Client) Delete(id pagestore.VMID) error {
+	return c.eachBackend(func(b int, p *memserver.ClientPool) error { return p.Delete(id) })
+}
+
+// SetServing toggles page serving on every backend.
+func (c *Client) SetServing(on bool) error {
+	return c.eachBackend(func(b int, p *memserver.ClientPool) error { return p.SetServing(on) })
+}
+
+// Stats aggregates backend counters: traffic sums across the fabric,
+// VMs is the maximum (every backend hosts a partition of every VM), and
+// Serving holds if every backend is serving.
+func (c *Client) Stats() (memserver.Stats, error) {
+	var (
+		mu  sync.Mutex
+		agg memserver.Stats
+	)
+	agg.Serving = true
+	err := c.eachBackend(func(b int, p *memserver.ClientPool) error {
+		st, err := p.Stats()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if st.VMs > agg.VMs {
+			agg.VMs = st.VMs
+		}
+		agg.PagesServed += st.PagesServed
+		agg.BytesServed += st.BytesServed
+		agg.PagesUploaded += st.PagesUploaded
+		agg.Serving = agg.Serving && st.Serving
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return memserver.Stats{}, err
+	}
+	return agg, nil
+}

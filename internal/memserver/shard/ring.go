@@ -1,0 +1,153 @@
+// Package shard implements the sharded, replicated memory-server fabric:
+// a deterministic consistent-hash ring places every VM page range on R of
+// N backend daemons, and Client fans the existing page/upload operations
+// out per shard over per-backend connection pools (§4.2's single memory
+// server, scaled horizontally).
+//
+// Placement is keyed by (VMID, PFN-range), not by individual page: all
+// pages of one RangePages-sized aligned range land on the same replica
+// set, so a contiguous prefetch batch or upload chunk touches one shard
+// instead of scattering across the rack. Writes go to every replica
+// (strict — the uploader holds the authoritative image, so degradation
+// beats silent under-replication); reads try the replicas in ring order
+// and fail over when a backend's circuit breaker is open or a fetch
+// fails, which is what lets a fabric ride out a killed shard with zero
+// failed page reads.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"oasis/internal/pagestore"
+)
+
+// DefaultRangePages is the placement-unit size: 1024 pages (4 MiB) keeps
+// a prefetch round or upload chunk on one shard while still spreading a
+// multi-GiB image across the whole fabric.
+const DefaultRangePages = 1024
+
+// DefaultVnodes is the number of ring points per backend. 64 virtual
+// nodes keep the load split within a few percent of even for the small
+// fabrics (3-16 backends) a rack runs.
+const DefaultVnodes = 64
+
+// DefaultReplicas is the write fan-out when Config.Replicas is unset:
+// every page range lives on two backends, so one shard outage never
+// strands a partial VM.
+const DefaultReplicas = 2
+
+// Ring is a deterministic consistent-hash ring over backend indices.
+// It is immutable after construction and safe for concurrent use.
+type Ring struct {
+	backends   int
+	replicas   int
+	rangePages int64
+	points     []ringPoint
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// NewRing builds a ring over n backends identified by addrs (the ring
+// hashes the addresses, so the same fabric membership yields the same
+// placement in every process). replicas is clamped to [1, n]; rangePages
+// and vnodes take their defaults when <= 0.
+func NewRing(addrs []string, replicas, rangePages, vnodes int) (*Ring, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one backend")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	if replicas > len(addrs) {
+		replicas = len(addrs)
+	}
+	if rangePages <= 0 {
+		rangePages = DefaultRangePages
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		backends:   len(addrs),
+		replicas:   replicas,
+		rangePages: int64(rangePages),
+		points:     make([]ringPoint, 0, len(addrs)*vnodes),
+	}
+	for i, addr := range addrs {
+		h := hashString(addr)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{mix64(h ^ uint64(v)*0x9E3779B97F4A7C15), i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].backend < r.points[b].backend
+	})
+	return r, nil
+}
+
+// Replicas returns the effective replica count (clamped to the backend
+// count at construction).
+func (r *Ring) Replicas() int { return r.replicas }
+
+// RangePages returns the placement-unit size in pages.
+func (r *Ring) RangePages() int64 { return r.rangePages }
+
+// Owners returns the backend indices holding the page, primary first,
+// then the failover replicas in ring order. The slice is freshly
+// allocated; all pages in the same RangePages-aligned range of the same
+// VM get the same owners.
+func (r *Ring) Owners(id pagestore.VMID, pfn pagestore.PFN) []int {
+	return r.appendOwners(make([]int, 0, r.replicas), id, pfn)
+}
+
+// appendOwners is Owners into a caller-provided slice (hot paths reuse
+// the buffer across pages).
+func (r *Ring) appendOwners(dst []int, id pagestore.VMID, pfn pagestore.PFN) []int {
+	key := mix64(uint64(id)*0xD6E8FEB86659FD93 ^ uint64(int64(pfn)/r.rangePages))
+	// First point clockwise of the key; wrap at the end of the circle.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	seen := 0
+	for n := 0; n < len(r.points) && seen < r.replicas; n++ {
+		b := r.points[(i+n)%len(r.points)].backend
+		dup := false
+		for _, have := range dst[len(dst)-seen:] {
+			if have == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, b)
+			seen++
+		}
+	}
+	return dst
+}
+
+// hashString is FNV-1a, finished with a mixer so nearby addresses
+// ("…:7070" vs "…:7071") land far apart on the circle.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"oasis/internal/pagestore"
+)
+
+var testAddrs = []string{"10.0.0.1:7070", "10.0.0.2:7070", "10.0.0.3:7070", "10.0.0.4:7070"}
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(testAddrs, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(testAddrs, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vm := pagestore.VMID(1); vm < 20; vm++ {
+		for pfn := pagestore.PFN(0); pfn < 1<<16; pfn += 777 {
+			if !reflect.DeepEqual(a.Owners(vm, pfn), b.Owners(vm, pfn)) {
+				t.Fatalf("placement of vm %d pfn %d differs between identical rings", vm, pfn)
+			}
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndClamped(t *testing.T) {
+	r, err := NewRing(testAddrs[:3], 5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas() != 3 {
+		t.Fatalf("replicas = %d, want clamped to 3 backends", r.Replicas())
+	}
+	for pfn := pagestore.PFN(0); pfn < 1<<18; pfn += 511 {
+		owners := r.Owners(7, pfn)
+		if len(owners) != 3 {
+			t.Fatalf("pfn %d: %d owners, want 3", pfn, len(owners))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if o < 0 || o >= 3 {
+				t.Fatalf("pfn %d: owner %d out of range", pfn, o)
+			}
+			if seen[o] {
+				t.Fatalf("pfn %d: duplicate owner %d in %v", pfn, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestRingRangeContiguity(t *testing.T) {
+	r, err := NewRing(testAddrs, 2, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const vm = pagestore.VMID(42)
+	// Every page of one 1024-page range shares the range's replica set;
+	// the set changes (somewhere) across ranges.
+	changed := false
+	prev := r.Owners(vm, 0)
+	for rangeStart := pagestore.PFN(0); rangeStart < 64*1024; rangeStart += 1024 {
+		base := r.Owners(vm, rangeStart)
+		for _, off := range []pagestore.PFN{1, 513, 1023} {
+			if got := r.Owners(vm, rangeStart+off); !reflect.DeepEqual(got, base) {
+				t.Fatalf("range %d: pfn +%d owned by %v, range owned by %v", rangeStart, off, got, base)
+			}
+		}
+		if !reflect.DeepEqual(base, prev) {
+			changed = true
+		}
+		prev = base
+	}
+	if !changed {
+		t.Fatal("every range landed on the same replica set; ring is not spreading")
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	r, err := NewRing(testAddrs, 1, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(testAddrs))
+	const ranges = 4096
+	for i := 0; i < ranges; i++ {
+		counts[r.Owners(3, pagestore.PFN(i)*1024)[0]]++
+	}
+	for b, n := range counts {
+		frac := float64(n) / ranges
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("backend %d owns %.1f%% of ranges; split %v too uneven", b, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 2, 0, 0); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+}

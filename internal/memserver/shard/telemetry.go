@@ -1,0 +1,50 @@
+package shard
+
+import (
+	"strconv"
+
+	"oasis/internal/telemetry"
+)
+
+// Live telemetry for the shard fabric (oasis_shard_*; see
+// OBSERVABILITY.md). Per-backend series are labeled by shard index, not
+// address: indices are stable across scrapes and bounded by the fabric
+// size. The per-connection behaviour underneath (retries, breaker state,
+// pool dispatch) stays on the oasis_client_* series each backend pool
+// already exports under its own client label.
+type shardTel struct {
+	backends  *telemetry.Gauge
+	replicas  *telemetry.Gauge
+	reads     []*telemetry.Counter // reads served, by shard
+	writes    []*telemetry.Counter // replica write ops, by shard
+	bytes     []*telemetry.Counter // partitioned upload bytes, by shard
+	failovers *telemetry.Counter
+	readErrs  *telemetry.Counter
+}
+
+func newShardTel(r *telemetry.Registry, n int) *shardTel {
+	if r == nil {
+		r = telemetry.Default
+	}
+	t := &shardTel{
+		backends: r.Gauge("oasis_shard_backends",
+			"Backend memory servers in the shard fabric."),
+		replicas: r.Gauge("oasis_shard_replicas",
+			"Replica copies written per page range."),
+		failovers: r.Counter("oasis_shard_read_failovers_total",
+			"Reads redirected to a replica after the preferred shard failed or its breaker was open."),
+		readErrs: r.Counter("oasis_shard_read_errors_total",
+			"Reads that failed on every replica."),
+	}
+	for i := 0; i < n; i++ {
+		l := telemetry.L("shard", strconv.Itoa(i))
+		t.reads = append(t.reads, r.Counter("oasis_shard_reads_total",
+			"Read operations served, by shard.", l))
+		t.writes = append(t.writes, r.Counter("oasis_shard_writes_total",
+			"Replica write operations issued, by shard.", l))
+		t.bytes = append(t.bytes, r.Counter("oasis_shard_upload_bytes_total",
+			"Partitioned snapshot bytes uploaded, by shard.", l))
+	}
+	t.backends.Set(float64(n))
+	return t
+}

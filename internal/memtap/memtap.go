@@ -29,6 +29,7 @@ import (
 
 	"oasis/internal/hypervisor"
 	"oasis/internal/memserver"
+	"oasis/internal/memserver/shard"
 	"oasis/internal/metrics"
 	"oasis/internal/pagestore"
 	"oasis/internal/telemetry"
@@ -125,6 +126,14 @@ type Options struct {
 	// PoolSize waste goroutines — batches would queue on lanes — so
 	// agents plumb the same knob into both.
 	PrefetchStreams int
+	// Backends, when non-empty, dials a sharded memory-server fabric
+	// over these addresses instead of the single server at addr: page
+	// reads route by consistent-hash placement and fail over between
+	// replicas (see memserver/shard). The addr argument is ignored.
+	Backends []string
+	// Replicas is the fabric's replica count (only with Backends;
+	// <= 0 takes the fabric default).
+	Replicas int
 }
 
 // fetchCall is one in-flight remote fetch; followers wait on done and
@@ -190,27 +199,60 @@ func NewWithOptions(vmid pagestore.VMID, addr string, secret []byte, opts Option
 	// Mirror breaker transitions into the per-VM degraded gauge without
 	// displacing a caller-supplied hook. For a pool this hook is lifted to
 	// the aggregate breaker, so the gauge rises only when every lane is
-	// down — exactly when the VM is actually degraded.
+	// down — exactly when the VM is actually degraded. For a shard fabric
+	// the hook fires per backend pool, so the gauge is recomputed from the
+	// fabric aggregate instead: one dead backend with live replicas is a
+	// failover, not a degraded VM.
 	gauge := degradedGauge(vmid)
 	inner := cfg.OnStateChange
-	cfg.OnStateChange = func(from, to memserver.BreakerState) {
-		if to == memserver.BreakerOpen {
-			gauge.Set(1)
-		} else {
-			gauge.Set(0)
+	var fabRef atomic.Pointer[shard.Client]
+	if len(opts.Backends) > 0 {
+		cfg.OnStateChange = func(from, to memserver.BreakerState) {
+			if f := fabRef.Load(); f != nil {
+				if f.BreakerState() == memserver.BreakerOpen {
+					gauge.Set(1)
+				} else {
+					gauge.Set(0)
+				}
+			}
+			if inner != nil {
+				inner(from, to)
+			}
 		}
-		if inner != nil {
-			inner(from, to)
+	} else {
+		cfg.OnStateChange = func(from, to memserver.BreakerState) {
+			if to == memserver.BreakerOpen {
+				gauge.Set(1)
+			} else {
+				gauge.Set(0)
+			}
+			if inner != nil {
+				inner(from, to)
+			}
 		}
 	}
 	var client PageClient
 	var err error
-	if opts.PoolSize > 1 {
+	switch {
+	case len(opts.Backends) > 0:
+		var fab *shard.Client
+		fab, err = shard.Dial(opts.Backends, secret, shard.Config{
+			Replicas: opts.Replicas,
+			Pool: memserver.PoolConfig{
+				Size:       opts.PoolSize,
+				Resilience: cfg,
+			},
+		})
+		if err == nil {
+			fabRef.Store(fab)
+			client = fab
+		}
+	case opts.PoolSize > 1:
 		client, err = memserver.DialPool(addr, secret, memserver.PoolConfig{
 			Size:       opts.PoolSize,
 			Resilience: cfg,
 		})
-	} else {
+	default:
 		client, err = memserver.DialResilient(addr, secret, cfg)
 	}
 	if err != nil {

@@ -103,6 +103,15 @@ type Model struct {
 	// DetachWindow) — placement and energy accounting use Op.Latency,
 	// which it deliberately does not touch.
 	UploadStreams int
+	// Shards is the number of memory-server backends in the shard
+	// fabric (internal/memserver/shard). Values <= 1 model the single
+	// host-local memory server. A fabric partitions every upload by
+	// (VMID, PFN-range) and writes all backends concurrently, dividing
+	// the SAS component of the detach window by Shards (see
+	// ShardWindow). Stats-only, exactly like UploadStreams: placement
+	// and energy accounting use Op.Latency, which Shards deliberately
+	// does not touch.
+	Shards int
 }
 
 // MicroBenchModel returns the §4.4 testbed calibration (Figure 5).
@@ -214,6 +223,24 @@ func (m Model) DetachWindow(op Op) time.Duration {
 	}
 	sas := units.TransferTime(op.SASBytes, m.SAS)
 	return op.Latency - sas + time.Duration(float64(sas)/speedup)
+}
+
+// ShardWindow returns how long the host is busy uploading when the
+// detach targets a Shards-backend fabric instead of one memory server:
+// the image partitions by (VMID, PFN-range) and every backend ingests
+// its slice concurrently, so the SAS upload component divides by
+// Shards while the descriptor push and fixed overhead are unchanged.
+// Replica writes ride the same concurrent fan-out (each replica lands
+// on a different backend in the same round), so the replication factor
+// does not appear. With Shards <= 1 it returns op.Latency exactly;
+// like DetachWindow it never feeds back into Op.Latency, so placement
+// and energy series are bit-identical across shard counts.
+func (m Model) ShardWindow(op Op) time.Duration {
+	if m.Shards <= 1 || op.SASBytes == 0 {
+		return op.Latency
+	}
+	sas := units.TransferTime(op.SASBytes, m.SAS)
+	return op.Latency - sas + time.Duration(float64(sas)/float64(m.Shards))
 }
 
 // compressed returns the post-compression size of a memory region.

@@ -1,0 +1,68 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PartitionSnapshot splits an encoded snapshot into n per-owner
+// sub-snapshots: every page entry is copied, raw bytes untouched, into
+// the output of each owner index that owners(pfn) returns. It is the
+// write-side primitive of the sharded memory-server fabric — the owner
+// function is the consistent-hash placement, and returning more than one
+// index per page is what implements R-way replica writes.
+//
+// Entry order within each output matches the input, and the per-page
+// encodings are never re-compressed, so a backend that receives its
+// partition holds exactly the bytes the unsharded upload would have
+// given it. Concatenating disjoint partitions (in any order) and
+// applying them reproduces applying the original snapshot. Every one of
+// the n outputs is a valid snapshot — possibly empty, so that each
+// backend of a fabric always receives an image and later differential
+// uploads never hit an unknown VM.
+//
+// Owner indices outside [0, n) are rejected, as is a malformed snapshot.
+func PartitionSnapshot(data []byte, n int, owners func(PFN) []int) ([][]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pagestore: partition into %d parts", n)
+	}
+	if len(data) < 8 || string(data[:4]) != snapMagic {
+		return nil, fmt.Errorf("pagestore: bad snapshot magic")
+	}
+	count := binary.BigEndian.Uint32(data[4:8])
+	parts := make([][]byte, n)
+	counts := make([]uint32, n)
+	for i := range parts {
+		p := make([]byte, 0, 8+(len(data)-8)/n)
+		p = append(p, snapMagic...)
+		p = append(p, 0, 0, 0, 0) // count patched below
+		parts[i] = p
+	}
+	off := 8
+	for i := uint32(0); i < count; i++ {
+		if off+10 > len(data) {
+			return nil, fmt.Errorf("pagestore: truncated snapshot at page %d/%d", i, count)
+		}
+		pfn := PFN(binary.BigEndian.Uint64(data[off:]))
+		token := binary.BigEndian.Uint16(data[off+8:])
+		entry := 10 + PageBodyLen(token)
+		if off+entry > len(data) {
+			return nil, fmt.Errorf("pagestore: truncated snapshot at page %d/%d", i, count)
+		}
+		for _, o := range owners(pfn) {
+			if o < 0 || o >= n {
+				return nil, fmt.Errorf("pagestore: page %d assigned to owner %d of %d", pfn, o, n)
+			}
+			parts[o] = append(parts[o], data[off:off+entry]...)
+			counts[o]++
+		}
+		off += entry
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("pagestore: %d trailing bytes in snapshot", len(data)-off)
+	}
+	for i := range parts {
+		binary.BigEndian.PutUint32(parts[i][4:8], counts[i])
+	}
+	return parts, nil
+}

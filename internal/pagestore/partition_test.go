@@ -1,0 +1,133 @@
+package pagestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"oasis/internal/rng"
+	"oasis/internal/units"
+)
+
+// partitionImage builds a mixed image: zero, compressible, and
+// incompressible pages, so partitions carry every entry shape.
+func partitionImage(t *testing.T, seed uint64, pages int64) *Image {
+	t.Helper()
+	im := NewImage(units.Bytes(pages) * units.PageSize)
+	r := rng.New(seed)
+	page := make([]byte, units.PageSize)
+	for pfn := PFN(0); int64(pfn) < pages; pfn++ {
+		switch r.Int63n(3) {
+		case 0:
+			continue // zero page
+		case 1:
+			for i := range page {
+				page[i] = byte(pfn % 7)
+			}
+		default:
+			for i := 0; i < len(page); i += 8 {
+				binary.LittleEndian.PutUint64(page[i:], r.Uint64())
+			}
+		}
+		if err := im.Write(pfn, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return im
+}
+
+func TestPartitionSnapshotReassembles(t *testing.T) {
+	im := partitionImage(t, 7, 96)
+	snap, _, err := EncodeAll(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	parts, err := PartitionSnapshot(snap, n, func(pfn PFN) []int {
+		return []int{int(pfn) % n}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != n {
+		t.Fatalf("got %d partitions, want %d", len(parts), n)
+	}
+	// Applying the disjoint partitions in any order reproduces the image.
+	back := NewImage(im.Alloc())
+	for i := n - 1; i >= 0; i-- {
+		if err := ApplySnapshot(back, parts[i]); err != nil {
+			t.Fatalf("apply part %d: %v", i, err)
+		}
+	}
+	got, _, err := EncodeAll(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, snap) {
+		t.Fatal("reassembled image diverges from the source snapshot")
+	}
+}
+
+func TestPartitionSnapshotReplicates(t *testing.T) {
+	im := partitionImage(t, 11, 64)
+	snap, pages, err := EncodeAll(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every page to every owner: each partition must equal the original.
+	const n = 2
+	parts, err := PartitionSnapshot(snap, n, func(PFN) []int { return []int{0, 1} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if !bytes.Equal(p, snap) {
+			t.Fatalf("replica partition %d diverges from the source snapshot", i)
+		}
+	}
+	if pages == 0 {
+		t.Fatal("test image encoded no pages")
+	}
+}
+
+func TestPartitionSnapshotEmptyParts(t *testing.T) {
+	im := partitionImage(t, 13, 32)
+	snap, _, err := EncodeAll(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All pages to owner 0; owner 1 must still get a valid empty snapshot.
+	parts, err := PartitionSnapshot(snap, 2, func(PFN) []int { return []int{0} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parts[0], snap) {
+		t.Fatal("sole owner's partition diverges from the source")
+	}
+	if len(parts[1]) != 8 || string(parts[1][:4]) != snapMagic {
+		t.Fatalf("empty partition is not a bare snapshot header: %d bytes", len(parts[1]))
+	}
+	if err := ApplySnapshot(NewImage(im.Alloc()), parts[1]); err != nil {
+		t.Fatalf("empty partition does not apply: %v", err)
+	}
+}
+
+func TestPartitionSnapshotRejectsBadInput(t *testing.T) {
+	im := partitionImage(t, 17, 16)
+	snap, _, err := EncodeAll(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PartitionSnapshot(snap, 0, func(PFN) []int { return nil }); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := PartitionSnapshot([]byte("nope"), 1, func(PFN) []int { return nil }); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := PartitionSnapshot(snap[:len(snap)-1], 1, func(PFN) []int { return []int{0} }); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if _, err := PartitionSnapshot(snap, 2, func(PFN) []int { return []int{2} }); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+
+	"oasis/internal/cluster"
+	"oasis/internal/trace"
+)
+
+func runShards(t *testing.T, shards int, seed uint64) *Result {
+	t.Helper()
+	cc := cluster.DefaultConfig()
+	cc.Policy = cluster.FulltoPartial
+	cc.Model.Shards = shards
+	r, err := Run(Config{Cluster: cc, Kind: trace.Weekday, TraceSeed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestShardsDeterministic: a seeded day against a modeled shard fabric
+// must be bit-identical run to run, shard-window distribution included.
+func TestShardsDeterministic(t *testing.T) {
+	a := runShards(t, 3, 42)
+	b := runShards(t, 3, 42)
+	if a.SavingsPct != b.SavingsPct || a.OasisJoules != b.OasisJoules ||
+		a.BaselineJoules != b.BaselineJoules {
+		t.Fatalf("same seed with shards, different energy: %.6f vs %.6f",
+			a.OasisJoules, b.OasisJoules)
+	}
+	for i := range a.PoweredSeries {
+		if a.PoweredSeries[i] != b.PoweredSeries[i] || a.ActiveSeries[i] != b.ActiveSeries[i] {
+			t.Fatalf("series diverge at interval %d", i)
+		}
+	}
+	if a.Stats.ShardSample.N() != b.Stats.ShardSample.N() ||
+		a.Stats.ShardSample.Mean() != b.Stats.ShardSample.Mean() ||
+		a.Stats.ShardSample.Max() != b.Stats.ShardSample.Max() {
+		t.Fatal("shard-window distributions diverge between identical runs")
+	}
+}
+
+// TestSingleShardUnchanged guards the seed behavior: shards=1 (or zero,
+// the unset default) must reproduce the single-server arithmetic exactly
+// and record no shard windows at all — the fabric model only touches
+// runs that ask for it.
+func TestSingleShardUnchanged(t *testing.T) {
+	zero := runShards(t, 0, 42)
+	one := runShards(t, 1, 42)
+	if zero.OasisJoules != one.OasisJoules || zero.SavingsPct != one.SavingsPct {
+		t.Fatalf("shards=0 vs shards=1 differ: %.6f vs %.6f J",
+			zero.OasisJoules, one.OasisJoules)
+	}
+	for i := range zero.PoweredSeries {
+		if zero.PoweredSeries[i] != one.PoweredSeries[i] {
+			t.Fatalf("shards=1 changed placement: powered series diverges at %d", i)
+		}
+	}
+	if zero.Stats.ShardSample.N() != 0 || one.Stats.ShardSample.N() != 0 {
+		t.Fatalf("single-server runs recorded shard windows: %d and %d",
+			zero.Stats.ShardSample.N(), one.Stats.ShardSample.N())
+	}
+	if zero.Stats.DetachSample.Mean() != one.Stats.DetachSample.Mean() {
+		t.Fatal("shards=1 changed the detach-window distribution")
+	}
+}
+
+// TestShardsShortenDetachWindows checks the modeled effect: partitioning
+// an upload across concurrently-ingesting backends shrinks the per-detach
+// busy window without touching placement or energy — the powered/active
+// series and the energy figure must be identical to the single-server
+// run, because ShardWindow feeds only the statistics, never Op.Latency.
+func TestShardsShortenDetachWindows(t *testing.T) {
+	single := runShards(t, 1, 42)
+	sharded := runShards(t, 3, 42)
+	for i := range single.PoweredSeries {
+		if single.PoweredSeries[i] != sharded.PoweredSeries[i] {
+			t.Fatalf("shard fabric changed placement: powered series diverges at %d", i)
+		}
+		if single.ActiveSeries[i] != sharded.ActiveSeries[i] {
+			t.Fatalf("shard fabric changed activity: active series diverges at %d", i)
+		}
+	}
+	if single.OasisJoules != sharded.OasisJoules {
+		t.Fatalf("shard fabric changed energy: %.6f vs %.6f J",
+			single.OasisJoules, sharded.OasisJoules)
+	}
+	// Every detach records one shard window, each strictly inside the
+	// corresponding unshortened detach window.
+	if n, d := sharded.Stats.ShardSample.N(), sharded.Stats.DetachSample.N(); n != d {
+		t.Fatalf("recorded %d shard windows for %d detaches", n, d)
+	}
+	if sharded.Stats.ShardSample.N() == 0 {
+		t.Fatal("sharded run recorded no shard windows")
+	}
+	sm, dm := sharded.Stats.ShardSample.Mean(), sharded.Stats.DetachSample.Mean()
+	if sm >= dm {
+		t.Fatalf("mean shard window %.3fs not below mean detach window %.3fs", sm, dm)
+	}
+	if sMax, dMax := sharded.Stats.ShardSample.Max(), sharded.Stats.DetachSample.Max(); sMax >= dMax {
+		t.Fatalf("max shard window %.3fs not below max detach window %.3fs", sMax, dMax)
+	}
+	if single.Stats.DelaySample.Mean() != sharded.Stats.DelaySample.Mean() {
+		t.Fatal("shard fabric perturbed the reattach delay distribution")
+	}
+}

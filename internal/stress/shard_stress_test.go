@@ -1,0 +1,176 @@
+package stress
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"oasis/internal/faultinject"
+	"oasis/internal/hypervisor"
+	"oasis/internal/memserver"
+	"oasis/internal/memserver/shard"
+	"oasis/internal/memtap"
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// TestShardFabricKillOneBackend is the kill-a-shard chaos test: a memtap
+// runs against a 3-backend, 2-replica fabric whose connections storm
+// (dropped reads/writes, torn frames), and one entire backend dies
+// mid-run. Every fault must still land correct bytes — replication turns
+// a shard outage into failover latency, not failed reads — and the
+// memtap must not report degraded, because the fabric aggregate breaker
+// stays closed while replicas serve.
+func TestShardFabricKillOneBackend(t *testing.T) {
+	const (
+		vmid    = pagestore.VMID(64)
+		workers = 48
+		touches = 24
+	)
+	alloc := 16 * units.MiB // 4096 pages = 4 placement ranges at the default geometry
+
+	src := pagestore.NewImage(alloc)
+	for pfn := pagestore.PFN(0); int64(pfn) < src.NumPages(); pfn++ {
+		page := make([]byte, units.PageSize)
+		for i := 0; i < len(page); i += 32 {
+			page[i] = byte(pfn%251 + 1)
+		}
+		if err := src.Write(pfn, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, _, err := pagestore.EncodeAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	servers := make([]*memserver.Server, 3)
+	addrs := make([]string, 3)
+	injs := make([]*faultinject.Injector, 3)
+	for i := range servers {
+		injs[i] = faultinject.New(uint64(31+i), faultinject.Config{ReadErr: 0.02, WriteErr: 0.02, PartialWrite: 0.02})
+		injs[i].SetEnabled(false)
+		servers[i] = memserver.NewServer(secret, nil)
+		servers[i].SetConnWrapper(injs[i].WrapConn)
+		addr, err := servers[i].Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := servers[i]
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = addr.String()
+	}
+
+	// A breaker tight enough to actually open on the dead backend (so
+	// reads learn to skip it) but a retry budget that rides out the
+	// injected noise on the healthy ones.
+	res := memserver.ResilientConfig{
+		MaxRetries:       8,
+		MutatingRetries:  8,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       8 * time.Millisecond,
+		BreakerThreshold: 4,
+		BreakerCooldown:  50 * time.Millisecond,
+		DialTimeout:      2 * time.Second,
+		OpTimeout:        5 * time.Second,
+		JitterSeed:       11,
+	}
+
+	// Seed the fabric on a calm sea, with the same default placement
+	// geometry the memtap below will use.
+	up, err := shard.Dial(addrs, secret, shard.Config{
+		Replicas: 2,
+		Pool:     memserver.PoolConfig{Size: 2, Resilience: res},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := up.PutImage(vmid, alloc, snap); err != nil {
+		t.Fatal(err)
+	}
+	up.Close()
+
+	mt, err := memtap.NewWithOptions(vmid, "", secret, memtap.Options{
+		Resilience: &res,
+		PoolSize:   2,
+		Backends:   addrs,
+		Replicas:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	desc := hypervisor.NewDescriptor(vmid, "shard-storm", alloc, 1)
+	pvm, err := hypervisor.NewPartialVM(desc, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range injs {
+		inj.SetEnabled(true)
+	}
+
+	pageable := desc.Alloc.Pages() - desc.PageTablePages
+	var kill sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < touches; i++ {
+				if w == 0 && i == touches/2 {
+					// Mid-storm, an entire backend dies.
+					kill.Do(func() { servers[1].Close() })
+				}
+				pfn := pagestore.PFN(desc.PageTablePages + int64(w*173+i*29)%pageable)
+				var err error
+				for tries := 0; tries < 60; tries++ {
+					if _, err = pvm.Touch(pfn); err == nil {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if err != nil {
+					t.Errorf("worker %d: touch wedged after backend kill: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	kill.Do(func() { servers[1].Close() }) // ensure it happened even if worker 0 bailed
+	if t.Failed() {
+		return
+	}
+
+	// Every touched page carries correct bytes through chaos + outage.
+	for w := 0; w < workers; w++ {
+		for i := 0; i < touches; i++ {
+			pfn := pagestore.PFN(desc.PageTablePages + int64(w*173+i*29)%pageable)
+			want, _ := src.Read(pfn)
+			got, err := pvm.Read(pfn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("pfn %d corrupted through the degraded fabric", pfn)
+			}
+		}
+	}
+	// The fabric survived: one dead backend out of three must not flip
+	// the memtap's degraded flag, because the aggregate breaker only
+	// opens when every backend is gone.
+	if mt.Degraded() {
+		t.Fatal("memtap went degraded although two replicas of every range survive")
+	}
+	// And it still serves fresh faults after the storm.
+	for _, inj := range injs {
+		inj.SetEnabled(false)
+	}
+	probe := pagestore.PFN(desc.PageTablePages)
+	want, _ := src.Read(probe)
+	got, err := pvm.Read(probe)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("fabric did not settle after the outage: %v", err)
+	}
+}

@@ -177,8 +177,15 @@ func NewMemServer(secret []byte, logf func(string, ...any)) *MemServer {
 type MemClient = memserver.Client
 
 // DialMemServer connects and authenticates to a memory server.
+//
+// Deprecated: use Dial with WithTimeout; with no other options it
+// returns the same bare *MemClient.
 func DialMemServer(addr string, secret []byte, timeout time.Duration) (*MemClient, error) {
-	return memserver.Dial(addr, secret, timeout)
+	c, err := Dial(addr, secret, WithTimeout(timeout))
+	if err != nil {
+		return nil, err
+	}
+	return c.(*MemClient), nil
 }
 
 // ---- Resilient client path (fault tolerance) ----
@@ -205,8 +212,14 @@ var ErrMemtapDegraded = memtap.ErrDegraded
 
 // DialMemServerResilient connects with the resilient client. The zero
 // config selects defaults.
+//
+// Deprecated: use Dial with WithResilience.
 func DialMemServerResilient(addr string, secret []byte, cfg ResilienceConfig) (*ResilientMemClient, error) {
-	return memserver.DialResilient(addr, secret, cfg)
+	c, err := Dial(addr, secret, WithResilience(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return c.(*ResilientMemClient), nil
 }
 
 // Memtap services the page faults of one partial VM from a memory server
@@ -237,8 +250,14 @@ type MemPoolConfig = memserver.PoolConfig
 
 // DialMemServerPool connects a pool of resilient clients to a memory
 // server. The zero config selects defaults (4 connections).
+//
+// Deprecated: use Dial with WithPool and WithResilience.
 func DialMemServerPool(addr string, secret []byte, cfg MemPoolConfig) (*MemClientPool, error) {
-	return memserver.DialPool(addr, secret, cfg)
+	c, err := Dial(addr, secret, WithResilience(cfg.Resilience), WithPool(cfg.Size))
+	if err != nil {
+		return nil, err
+	}
+	return c.(*MemClientPool), nil
 }
 
 // MemtapOptions tunes a memtap's transport: connection-pool width,
