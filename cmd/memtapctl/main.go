@@ -7,10 +7,20 @@
 //
 //	memserverd -listen 127.0.0.1:7070 -secret changeme &
 //	memtapctl  -server 127.0.0.1:7070 -secret changeme -mem 64MiB -touch 2000
+//
+// It doubles as the fabric admin client for a running oasis-agentd:
+// -agent plus one of -fabric-add / -fabric-remove / -fabric-status
+// applies a live shard-fabric membership change (or inspects the
+// fabric) through the agent's RPC surface instead of running the demo:
+//
+//	memtapctl -agent 127.0.0.1:8100 -fabric-add    127.0.0.1:7073 -fabric-wait
+//	memtapctl -agent 127.0.0.1:8100 -fabric-remove 127.0.0.1:7071 -fabric-wait
+//	memtapctl -agent 127.0.0.1:8100 -fabric-status
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -18,7 +28,9 @@ import (
 	"time"
 
 	"oasis"
+	"oasis/internal/agent"
 	"oasis/internal/rng"
+	"oasis/internal/wire"
 )
 
 func main() {
@@ -31,12 +43,25 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "seed for synthetic page contents")
 		prefetch = flag.Bool("prefetch", false, "after touching, prefetch the remaining state (partial→full conversion, §4.4.4)")
 		retries  = flag.Int("retries", 8, "page-fetch attempts before the memtap reports the fault (riding out chaos downtime)")
+
+		agentAddr    = flag.String("agent", "", "oasis-agentd RPC address for fabric admin commands (enables -fabric-*)")
+		fabricAdd    = flag.String("fabric-add", "", "add this memory-server backend to the agent's shard fabric and rebalance")
+		fabricRemove = flag.String("fabric-remove", "", "drain this backend out of the agent's shard fabric")
+		fabricStatus = flag.Bool("fabric-status", false, "print the agent's fabric status (ring epoch, backend health, rebalance progress)")
+		fabricWait   = flag.Bool("fabric-wait", false, "block until the membership change's rebalance settles")
 	)
 	// -pool, -prefetch-streams, -upload-streams, -backends and -replicas
 	// come from the shared transport binding all the daemons use.
 	transport := oasis.Transport{PoolSize: 1, PrefetchStreams: 1, UploadStreams: 1}
 	oasis.BindTransportFlags(flag.CommandLine, &transport)
 	flag.Parse()
+	if *agentAddr != "" {
+		fabricAdmin(*agentAddr, *fabricAdd, *fabricRemove, *fabricStatus, *fabricWait)
+		return
+	}
+	if *fabricAdd != "" || *fabricRemove != "" || *fabricStatus {
+		log.Fatal("memtapctl: -fabric-* commands need -agent <rpc-addr>")
+	}
 	if *secret == "" {
 		log.Fatal("memtapctl: -secret is required")
 	}
@@ -201,5 +226,43 @@ func main() {
 		if err := oasis.WriteMetricsText(os.Stdout, "oasis_shard_"); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+// fabricAdmin runs one fabric admin command against a live agent and
+// exits: add/remove a backend (optionally waiting for the triggered
+// rebalance to settle) or print the fabric status.
+func fabricAdmin(agentAddr, add, remove string, status, wait bool) {
+	if add != "" && remove != "" {
+		log.Fatal("memtapctl: -fabric-add and -fabric-remove are mutually exclusive")
+	}
+	c, err := wire.Dial(agentAddr)
+	if err != nil {
+		log.Fatalf("memtapctl: dial agent: %v", err)
+	}
+	defer c.Close()
+	switch {
+	case add != "":
+		if err := c.Call("Agent.FabricAddBackend", agent.FabricBackendArgs{Addr: add, Wait: wait}, nil); err != nil {
+			log.Fatalf("memtapctl: fabric add %s: %v", add, err)
+		}
+		fmt.Printf("backend %s added (wait=%v)\n", add, wait)
+	case remove != "":
+		if err := c.Call("Agent.FabricRemoveBackend", agent.FabricBackendArgs{Addr: remove, Wait: wait}, nil); err != nil {
+			log.Fatalf("memtapctl: fabric remove %s: %v", remove, err)
+		}
+		fmt.Printf("backend %s removed (wait=%v)\n", remove, wait)
+	case status:
+		var reply agent.FabricStatusReply
+		if err := c.Call("Agent.FabricStatus", nil, &reply); err != nil {
+			log.Fatalf("memtapctl: fabric status: %v", err)
+		}
+		out, err := json.MarshalIndent(reply, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+	default:
+		log.Fatal("memtapctl: -agent needs one of -fabric-add, -fabric-remove, -fabric-status")
 	}
 }

@@ -9,6 +9,12 @@
 //	oasis-agentd -name home-0 -rpc 127.0.0.1:8100 -mem 127.0.0.1:8200 -secret s3cret &
 //	oasis-agentd -name home-1 -rpc 127.0.0.1:8101 -mem 127.0.0.1:8201 -secret s3cret &
 //	oasis-agentd -name cons-0 -rpc 127.0.0.1:8102 -mem 127.0.0.1:8202 -secret s3cret &
+//
+// When -backends selects a shard fabric, the agent's RPC surface also
+// carries the live fabric admin operations (Agent.FabricAddBackend,
+// Agent.FabricRemoveBackend, Agent.FabricStatus): memory-server
+// backends join and drain without restarting the agent or its VMs.
+// memtapctl -agent is the command-line client for them.
 package main
 
 import (

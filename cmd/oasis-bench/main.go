@@ -58,6 +58,10 @@ func main() {
 			var b experiments.ShardBench
 			b, err = experiments.Shard(opt)
 			bench, speedup = b, b.Model.Speedup
+		case "rebalance":
+			var b experiments.RebalanceBench
+			b, err = experiments.Rebalance(opt)
+			bench, speedup = b, b.Model.Speedup
 		default:
 			var b experiments.ReattachBench
 			b, err = experiments.Reattach(opt)

@@ -113,17 +113,27 @@ func WithReplicas(n int) DialOption {
 
 // WithTransport applies a Transport's connection-shaping fields —
 // PoolSize, Backends, Replicas — to the dial, so a daemon can hand its
-// flag-bound transport straight to Dial. PrefetchStreams and
-// UploadStreams shape the memtap/agent pipelines, not the connection,
-// and are ignored here.
+// flag-bound transport straight to Dial. The fields follow the
+// Transport contract exactly: PoolSize <= 1 keeps a single resilient
+// connection (the same shape the deprecated DialMemServerResilient
+// returns) rather than a one-lane pool, Backends selects the sharded
+// fabric with PoolSize as the per-backend pool width, and Replicas <= 0
+// takes the fabric default. PrefetchStreams and UploadStreams shape the
+// memtap/agent pipelines, not the connection, and are ignored here.
 func WithTransport(t Transport) DialOption {
 	return func(c *dialConfig) {
-		if t.PoolSize > 0 {
+		switch {
+		case t.Sharded():
+			c.backends = append([]string(nil), t.Backends...)
+			if t.PoolSize > 0 {
+				c.pool = t.PoolSize
+				c.poolSet = true
+			}
+		case t.PoolSize > 1:
 			c.pool = t.PoolSize
 			c.poolSet = true
-		}
-		if t.Sharded() {
-			c.backends = append([]string(nil), t.Backends...)
+		case t.PoolSize == 1:
+			c.resilient = true
 		}
 		if t.Replicas > 0 {
 			c.replicas = t.Replicas

@@ -1,0 +1,112 @@
+package oasis_test
+
+import (
+	"testing"
+	"time"
+
+	"oasis"
+)
+
+// TestTransportDialShapes pins the Transport → Dial contract against
+// the flagbind documentation and the deprecated wrappers: the same
+// transport configuration must select the same client shape whichever
+// entry point a caller uses, so legacy wrapper call sites and
+// flag-driven Dial call sites cannot drift apart.
+func TestTransportDialShapes(t *testing.T) {
+	secret := []byte("transport-shape-test")
+	srv := oasis.NewMemServer(secret, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv2 := oasis.NewMemServer(secret, nil)
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	// PoolSize <= 1 "keeps a single resilient connection" (the
+	// flagbind contract): Dial must return the same shape the
+	// deprecated DialMemServerResilient wrapper does, not a one-lane
+	// pool.
+	conn, err := oasis.Dial(addr.String(), secret, oasis.WithTransport(oasis.Transport{PoolSize: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := conn.(*oasis.ResilientMemClient); !ok {
+		t.Fatalf("Transport{PoolSize: 1} dialed a %T, want the single resilient connection", conn)
+	}
+	conn.Close()
+	legacy, err := oasis.DialMemServerResilient(addr.String(), secret, oasis.ResilienceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Close()
+
+	// PoolSize > 1 pools, exactly like the deprecated pool wrapper.
+	conn, err = oasis.Dial(addr.String(), secret, oasis.WithTransport(oasis.Transport{PoolSize: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := conn.(*oasis.MemClientPool); !ok {
+		t.Fatalf("Transport{PoolSize: 3} dialed a %T, want a client pool", conn)
+	}
+	conn.Close()
+	pool, err := oasis.DialMemServerPool(addr.String(), secret, oasis.MemPoolConfig{Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+
+	// A zero transport keeps the bare connection, the shape the
+	// deprecated DialMemServer wrapper returns.
+	conn, err = oasis.Dial(addr.String(), secret, oasis.WithTransport(oasis.Transport{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := conn.(*oasis.MemClient); !ok {
+		t.Fatalf("zero Transport dialed a %T, want the bare client", conn)
+	}
+	conn.Close()
+	bare, err := oasis.DialMemServer(addr.String(), secret, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare.Close()
+
+	// A sharded transport selects the fabric and propagates the backend
+	// list and replica count into the ring; PoolSize sizes the
+	// per-backend pools rather than changing the shape.
+	backends := []string{addr.String(), addr2.String()}
+	conn, err = oasis.Dial("", secret, oasis.WithTransport(oasis.Transport{
+		PoolSize: 1, Backends: backends, Replicas: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, ok := conn.(*oasis.ShardClient)
+	if !ok {
+		t.Fatalf("sharded Transport dialed a %T, want the fabric client", conn)
+	}
+	if got := fab.Backends(); len(got) != 2 || got[0] != backends[0] || got[1] != backends[1] {
+		t.Fatalf("fabric backends = %v, want %v", got, backends)
+	}
+	if r := fab.Ring().Replicas(); r != 1 {
+		t.Fatalf("fabric replicas = %d, want the transport's 1", r)
+	}
+	fab.Close()
+
+	// Replicas <= 0 takes the fabric default (2), the same default
+	// oasis.Dial applies via WithBackends alone.
+	conn, err = oasis.Dial("", secret, oasis.WithTransport(oasis.Transport{Backends: backends}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab = conn.(*oasis.ShardClient)
+	if r := fab.Ring().Replicas(); r != 2 {
+		t.Fatalf("default fabric replicas = %d, want 2", r)
+	}
+	fab.Close()
+}

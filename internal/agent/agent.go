@@ -320,13 +320,16 @@ type VMInfo struct {
 	Faults  int64          `json:"faults"`
 
 	// Degraded reports that the VM's memtap cannot reach its memory
-	// server (circuit breaker open); Quarantined that a forced
-	// promotion also failed. Retries/Reconnects expose the memtap's
-	// resilience counters for availability accounting.
-	Degraded    bool  `json:"degraded,omitempty"`
-	Quarantined bool  `json:"quarantined,omitempty"`
-	Retries     int64 `json:"retries,omitempty"`
-	Reconnects  int64 `json:"reconnects,omitempty"`
+	// server (circuit breaker open); Underreplicated that its shard
+	// fabric still serves reads but with reduced redundancy (a backend
+	// down or ranges below their replica target); Quarantined that a
+	// forced promotion also failed. Retries/Reconnects expose the
+	// memtap's resilience counters for availability accounting.
+	Degraded        bool  `json:"degraded,omitempty"`
+	Underreplicated bool  `json:"underreplicated,omitempty"`
+	Quarantined     bool  `json:"quarantined,omitempty"`
+	Retries         int64 `json:"retries,omitempty"`
+	Reconnects      int64 `json:"reconnects,omitempty"`
 }
 
 // Stats summarises the agent's state for the manager's periodic
@@ -359,6 +362,9 @@ func (a *Agent) register() {
 	h("Suspend", a.handleSuspend)
 	h("Wake", a.handleWake)
 	h("Stats", a.handleStats)
+	h("FabricAddBackend", a.handleFabricAddBackend)
+	h("FabricRemoveBackend", a.handleFabricRemoveBackend)
+	h("FabricStatus", a.handleFabricStatus)
 }
 
 func decode[T any](params json.RawMessage) (T, error) {
@@ -1188,6 +1194,7 @@ func (a *Agent) handleStats(json.RawMessage) (any, error) {
 		if mv.mt != nil {
 			info.Faults = mv.mt.Faults()
 			info.Degraded = mv.mt.Degraded()
+			info.Underreplicated = mv.mt.Underreplicated()
 			rs := mv.mt.Resilience()
 			info.Retries = rs.Retries
 			info.Reconnects = rs.Reconnects

@@ -1,0 +1,240 @@
+package agent
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"oasis/internal/memserver/shard"
+	"oasis/internal/pagestore"
+)
+
+// The fabric admin surface: operators grow, shrink and inspect the
+// sharded memory-server fabric of a running agent without restarting
+// it. A host may hold several fabric clients at once — the agent's own
+// upload fabric plus one per fabric-backed partial VM — and a
+// membership change must land on all of them, or different clients
+// would place pages by different rings. The handlers therefore apply
+// each change to every live fabric and to the agent's transport
+// config, so memtaps created later (and partial hand-offs to peers)
+// see the new membership too.
+
+// fabricWaitTimeout bounds how long a Wait=true membership change
+// blocks on the triggered rebalance before reporting it still running.
+const fabricWaitTimeout = 5 * time.Minute
+
+// FabricBackendArgs names one backend for a live membership change.
+// Wait blocks the reply until the triggered rebalance (migration of
+// moved ranges, re-replication) settles on every fabric, so scripted
+// drains can chain "remove A, wait" then "power off A" safely.
+type FabricBackendArgs struct {
+	Addr string `json:"addr"`
+	Wait bool   `json:"wait,omitempty"`
+}
+
+// VMFabricStatus is one partial VM's fabric health.
+type VMFabricStatus struct {
+	VMID   pagestore.VMID `json:"vmid"`
+	Status shard.Status   `json:"status"`
+}
+
+// FabricStatusReply snapshots every fabric client the agent holds.
+type FabricStatusReply struct {
+	// Sharded reports whether the agent's transport targets a fabric at
+	// all; the remaining fields are empty when it does not.
+	Sharded bool `json:"sharded"`
+	// Backends is the configured membership new dials will use.
+	Backends []string `json:"backends,omitempty"`
+	// Upload is the agent's own detach-upload fabric, nil until its
+	// first use dials it.
+	Upload *shard.Status `json:"upload,omitempty"`
+	// VMs lists the per-partial-VM memtap fabrics.
+	VMs []VMFabricStatus `json:"vms,omitempty"`
+}
+
+// liveFabrics snapshots every dialed fabric client: the agent's upload
+// fabric (label "") plus each partial VM's memtap fabric.
+func (a *Agent) liveFabrics() (upload *shard.Client, vms map[pagestore.VMID]*shard.Client) {
+	a.upPoolMu.Lock()
+	upload = a.fabric
+	a.upPoolMu.Unlock()
+	vms = make(map[pagestore.VMID]*shard.Client)
+	a.mu.Lock()
+	for id, mv := range a.vms {
+		if mv.mt != nil {
+			if f := mv.mt.Fabric(); f != nil {
+				vms[id] = f
+			}
+		}
+	}
+	a.mu.Unlock()
+	return upload, vms
+}
+
+// changeFabricMembership applies one add/remove to the transport
+// config and every live fabric. A fabric already at the target
+// membership is skipped, so retrying a partially-failed change
+// converges instead of erroring on the fabrics that already took it.
+func (a *Agent) changeFabricMembership(args FabricBackendArgs, add bool) error {
+	if args.Addr == "" {
+		return fmt.Errorf("fabric: backend address required")
+	}
+	a.mu.Lock()
+	if !a.transport.Sharded() {
+		a.mu.Unlock()
+		return fmt.Errorf("fabric: agent transport is not sharded")
+	}
+	// Update the configured membership first: even if a live fabric
+	// refuses (mid-rebalance), future dials must see the target state.
+	has := false
+	for _, b := range a.transport.Backends {
+		if b == args.Addr {
+			has = true
+			break
+		}
+	}
+	switch {
+	case add && !has:
+		a.transport.Backends = append(a.transport.Backends, args.Addr)
+	case !add && has:
+		kept := a.transport.Backends[:0]
+		for _, b := range a.transport.Backends {
+			if b != args.Addr {
+				kept = append(kept, b)
+			}
+		}
+		a.transport.Backends = kept
+	}
+	a.mu.Unlock()
+
+	upload, vmFabs := a.liveFabrics()
+	type target struct {
+		name string
+		fab  *shard.Client
+	}
+	targets := make([]target, 0, len(vmFabs)+1)
+	if upload != nil {
+		targets = append(targets, target{"upload fabric", upload})
+	}
+	ids := make([]pagestore.VMID, 0, len(vmFabs))
+	for id := range vmFabs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		targets = append(targets, target{fmt.Sprintf("vm %04d fabric", id), vmFabs[id]})
+	}
+
+	var errs []error
+	changed := make([]*shard.Client, 0, len(targets))
+	for _, t := range targets {
+		if t.fab.Ring().HasBackend(args.Addr) == add {
+			continue // already at the target membership
+		}
+		var err error
+		if add {
+			err = t.fab.AddBackend(args.Addr)
+		} else {
+			err = t.fab.RemoveBackend(args.Addr)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", t.name, err))
+			continue
+		}
+		changed = append(changed, t.fab)
+	}
+	if args.Wait {
+		for _, f := range changed {
+			if err := f.WaitRebalance(fabricWaitTimeout); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (a *Agent) handleFabricAddBackend(params json.RawMessage) (any, error) {
+	args, err := decode[FabricBackendArgs](params)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.changeFabricMembership(args, true); err != nil {
+		return nil, err
+	}
+	a.logf("agent %s: fabric backend %s added", a.Name, args.Addr)
+	return nil, nil
+}
+
+func (a *Agent) handleFabricRemoveBackend(params json.RawMessage) (any, error) {
+	args, err := decode[FabricBackendArgs](params)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.changeFabricMembership(args, false); err != nil {
+		return nil, err
+	}
+	a.logf("agent %s: fabric backend %s removed", a.Name, args.Addr)
+	return nil, nil
+}
+
+func (a *Agent) handleFabricStatus(json.RawMessage) (any, error) {
+	a.mu.Lock()
+	reply := FabricStatusReply{
+		Sharded:  a.transport.Sharded(),
+		Backends: append([]string(nil), a.transport.Backends...),
+	}
+	a.mu.Unlock()
+	upload, vmFabs := a.liveFabrics()
+	if upload != nil {
+		st := upload.FabricStatus()
+		reply.Upload = &st
+	}
+	ids := make([]pagestore.VMID, 0, len(vmFabs))
+	for id := range vmFabs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		reply.VMs = append(reply.VMs, VMFabricStatus{VMID: id, Status: vmFabs[id].FabricStatus()})
+	}
+	return reply, nil
+}
+
+// FabricAddBackend orders a host agent to add a memory-server backend
+// to its fabric(s), rebalancing only the ranges whose placement moved.
+func (m *Manager) FabricAddBackend(hostName, backend string, wait bool) error {
+	h, err := m.host(hostName)
+	if err != nil {
+		return err
+	}
+	return h.client.Call("Agent.FabricAddBackend", FabricBackendArgs{Addr: backend, Wait: wait}, nil)
+}
+
+// FabricRemoveBackend orders a host agent to drain a backend out of its
+// fabric(s): ownership moves to the survivors and the freed copies are
+// re-replicated before the backend may be powered off (wait=true blocks
+// until that has happened).
+func (m *Manager) FabricRemoveBackend(hostName, backend string, wait bool) error {
+	h, err := m.host(hostName)
+	if err != nil {
+		return err
+	}
+	return h.client.Call("Agent.FabricRemoveBackend", FabricBackendArgs{Addr: backend, Wait: wait}, nil)
+}
+
+// FabricStatus fetches a host agent's fabric health: ring epoch,
+// per-backend breaker/hint state, rebalance progress, under-replicated
+// range count.
+func (m *Manager) FabricStatus(hostName string) (FabricStatusReply, error) {
+	h, err := m.host(hostName)
+	if err != nil {
+		return FabricStatusReply{}, err
+	}
+	var reply FabricStatusReply
+	if err := h.client.Call("Agent.FabricStatus", nil, &reply); err != nil {
+		return FabricStatusReply{}, err
+	}
+	return reply, nil
+}

@@ -96,6 +96,8 @@ func ByID(id string, opt Option) (Report, bool) {
 		return DetachReport(opt), true
 	case "shard":
 		return ShardReport(opt), true
+	case "rebalance":
+		return RebalanceReport(opt), true
 	case "ab-diff":
 		return AblationDifferentialUpload(opt), true
 	case "ab-lzf":
@@ -121,6 +123,6 @@ func ByID(id string, opt Option) (Report, bool) {
 // the ablations.
 func IDs() []string {
 	return []string{"fig1", "fig2", "table1", "fig5", "traffic", "fig6",
-		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3", "reattach", "detach", "shard",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3", "reattach", "detach", "shard", "rebalance",
 		"ab-diff", "ab-lzf", "ab-shared", "ab-elide", "ab-place", "ab-order", "ab-headroom", "ab-power"}
 }

@@ -109,6 +109,17 @@ type remoteError string
 
 func (e remoteError) Error() string { return "memserver: remote: " + string(e) }
 
+// IsRemoteError reports whether err is a reply from a healthy server
+// refusing the request (unknown VM, not serving, malformed payload), as
+// opposed to a transport failure. The resilient client returns such
+// errors without retrying or tripping the breaker; the shard fabric uses
+// the distinction to decide between hinting a write for later replay
+// (transport loss) and failing it outright (server refusal).
+func IsRemoteError(err error) bool {
+	var r remoteError
+	return errors.As(err, &r)
+}
+
 // GetPages batch framing. The encode/parse pairs below are the single
 // definition of the wire layout, shared by client and server (and
 // exercised directly by the fuzz tests in fuzz_test.go, which hold the

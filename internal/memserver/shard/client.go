@@ -1,9 +1,11 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oasis/internal/memserver"
@@ -11,12 +13,26 @@ import (
 	"oasis/internal/units"
 )
 
+// DefaultMaxHintBytes bounds the hinted-handoff buffer kept per
+// unreachable backend. Overflow discards the backend's hints and marks
+// it for full re-replication from the surviving replicas on rejoin.
+const DefaultMaxHintBytes = 256 << 20
+
+// DefaultRebalanceBatchPages is the copy unit of the rebalancer and
+// repair paths: pages fetched, re-encoded and verified per round trip.
+const DefaultRebalanceBatchPages = 256
+
+// DefaultProbeInterval paces the background health prober that walks
+// open breakers (so a rejoined backend is noticed even on an idle or
+// read-only fabric) and re-arms pending hint replays.
+const DefaultProbeInterval = 250 * time.Millisecond
+
 // Config tunes a shard fabric client. The zero value gives 2-way
 // replication over 4-MiB page ranges with default pools.
 type Config struct {
 	// Replicas is the number of backends each page range is written to
 	// (and may be read from). <= 0 takes DefaultReplicas; values above
-	// the backend count are clamped.
+	// the backend count are clamped (and un-clamp as backends join).
 	Replicas int
 	// RangePages is the placement-unit size in pages: contiguous ranges
 	// of this many pages share a replica set. <= 0 takes
@@ -25,15 +41,96 @@ type Config struct {
 	// Vnodes is the ring points per backend. <= 0 takes DefaultVnodes.
 	Vnodes int
 	// Pool configures every backend's connection pool. The resilience
-	// Name (default "shard") is suffixed with the backend index so each
-	// backend's oasis_client_* series stay distinguishable, and the
-	// JitterSeed is perturbed per backend to de-correlate reconnect
-	// storms across the fabric.
+	// Name (default "shard") is suffixed with the backend's stable shard
+	// index so each backend's oasis_client_* series stay
+	// distinguishable, and the JitterSeed is perturbed per backend to
+	// de-correlate reconnect storms across the fabric.
 	Pool memserver.PoolConfig
 	// Dialer overrides how one backend connection is established (tests
 	// and chaos harnesses wrap the transport, TLS deployments dial with
 	// a cert pool). Nil uses memserver.Dial with the fabric secret.
 	Dialer func(addr string) (*memserver.Client, error)
+	// RebalanceBytesPerSec caps the encoded bytes per second the
+	// background rebalancer and repair paths copy between backends, so a
+	// membership change does not starve foreground page traffic. <= 0
+	// means unpaced.
+	RebalanceBytesPerSec int64
+	// RebalanceBatchPages is the copy/verify unit of the rebalancer.
+	// <= 0 takes DefaultRebalanceBatchPages.
+	RebalanceBatchPages int
+	// MaxHintBytes bounds the hinted-handoff buffer per backend; <= 0
+	// takes DefaultMaxHintBytes.
+	MaxHintBytes int64
+	// ProbeInterval paces the background health prober; <= 0 takes
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+}
+
+// backendRef is one backend's identity for the life of its membership:
+// address, connection pool, and the stable shard index its telemetry
+// series are labeled with.
+type backendRef struct {
+	addr string
+	pool *memserver.ClientPool
+	tidx int
+}
+
+// epochState is one immutable membership epoch. The client swaps whole
+// epochs atomically; in-flight operations keep the epoch they loaded, so
+// a membership change never changes placement under an operation
+// half-way through. During a transition prevRing/prev carry the previous
+// epoch's membership: ranges whose ownership moved stay pinned to their
+// old owners (reads and a share of the writes) until the rebalancer has
+// copied and byte-verified them on the new owners.
+type epochState struct {
+	version  uint64
+	ring     *Ring
+	cur      []*backendRef // aligned with ring.Addrs()
+	prevRing *Ring         // non-nil while a transition is rebalancing
+	prev     []*backendRef // aligned with prevRing.Addrs()
+}
+
+// refByAddr finds a backend in the epoch (current first, then outgoing).
+func (st *epochState) refByAddr(addr string) *backendRef {
+	for _, ref := range st.cur {
+		if ref.addr == addr {
+			return ref
+		}
+	}
+	for _, ref := range st.prev {
+		if ref.addr == addr {
+			return ref
+		}
+	}
+	return nil
+}
+
+// allRefs returns the current members plus any outgoing (prev-only)
+// members still serving moved ranges, deduplicated by address.
+func (st *epochState) allRefs() []*backendRef {
+	if st.prevRing == nil {
+		return st.cur
+	}
+	out := append(make([]*backendRef, 0, len(st.cur)+1), st.cur...)
+	for _, ref := range st.prev {
+		dup := false
+		for _, have := range out {
+			if have.addr == ref.addr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// rangeKey identifies one placement range of one VM.
+type rangeKey struct {
+	vm  pagestore.VMID
+	rng int64
 }
 
 // Client fans memory-server operations out over a consistent-hash ring
@@ -43,23 +140,78 @@ type Config struct {
 // uses (PutImage/PutDiff/StreamImage/StreamDiff), so every existing
 // consumer can point at a fabric instead of one daemon.
 //
-// Writes are strict: every replica must acknowledge, because the caller
-// holds the authoritative image and an explicit failure beats silent
-// under-replication. Reads try replicas in ring order, skipping
-// backends whose breaker is open and failing over on error; with
-// Replicas >= 2 a single shard outage costs latency, not faults.
+// The membership is elastic: AddBackend and RemoveBackend swap in a new
+// ring epoch atomically and a background rebalancer migrates only the
+// ranges whose ownership moved, serving reads from the old owners until
+// each new copy is byte-verified. Writes are strict per range — every
+// reachable replica must acknowledge, and a range whose last replica is
+// unreachable fails the write — but a write missing on an unreachable
+// backend is buffered as a hint and replayed in order when the backend
+// rejoins (hinted handoff). A backend that rejoins without its data
+// (crash and restart) is re-replicated from the surviving copies.
+//
+// The client rebalances the VMs whose images were uploaded through it
+// (it tracks their allocations); images uploaded through a different
+// client still read and fail over correctly, but membership changes do
+// not migrate their data.
 //
 // Client is safe for concurrent use.
 type Client struct {
-	ring     *Ring
-	backends []string
-	pools    []*memserver.ClientPool
-	tel      *shardTel
+	cfg     Config // normalized: defaults filled in
+	secret  []byte
+	baseRes memserver.ResilientConfig // per-backend template
+	onState func(from, to memserver.BreakerState)
+	tel     *shardTel
+
+	state atomic.Pointer[epochState]
+
+	// adminSem serializes membership transitions end to end (swap
+	// through rebalance completion); a buffered channel rather than a
+	// mutex because the background rebalancer releases it.
+	adminSem chan struct{}
+
+	mu           sync.Mutex
+	images       map[pagestore.VMID]units.Bytes
+	vmLocks      map[pagestore.VMID]*sync.Mutex
+	nextTidx     int
+	transDone    chan struct{} // non-nil while a transition rebalances
+	lastRebalErr error
+
+	// pending marks ranges whose ownership moved in the current
+	// transition and whose new copies are not yet verified; guarded
+	// separately so the read hot path takes only an RLock (and only
+	// during a transition).
+	pendMu  sync.RWMutex
+	pending map[rangeKey]bool
+
+	// hints holds the per-backend hinted-handoff logs; taint counts
+	// backends with any stale-data debt so the read path can skip the
+	// lookup entirely when the fabric is clean.
+	hintMu sync.Mutex
+	hints  map[string]*hintLog
+	taint  atomic.Int32
+
+	recovering sync.Map // addr → struct{}: recovery goroutine in flight
+
+	onHealth atomic.Pointer[func()]
+
+	lifeMu sync.Mutex
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
 }
 
 // The fabric client is a full memserver.Conn: anything that can talk to
 // one daemon can talk to a fabric.
 var _ memserver.Conn = (*Client)(nil)
+
+// errHinted marks a replica write that was buffered for replay instead
+// of acknowledged (internal to the write fan-out).
+var errHinted = errors.New("shard: write hinted for unreachable backend")
+
+// errClosed reports an operation against a closed client's background
+// machinery.
+var errClosed = errors.New("shard: client closed")
 
 // Dial connects a shard client to the fabric at addrs. Like
 // memserver.DialPool, the first lane of every backend dials eagerly so
@@ -71,15 +223,16 @@ func Dial(addrs []string, secret []byte, cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := c.state.Load()
 	var wg sync.WaitGroup
-	errs := make([]error, len(c.pools))
-	for i := range c.pools {
+	errs := make([]error, len(st.cur))
+	for i := range st.cur {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			// Stats is the cheapest op that proves address + secret; it
 			// also warms the pool's first lane.
-			_, errs[i] = c.pools[i].Stats()
+			_, errs[i] = st.cur[i].pool.Stats()
 		}(i)
 	}
 	wg.Wait()
@@ -96,55 +249,196 @@ func Dial(addrs []string, secret []byte, cfg Config) (*Client, error) {
 // use. Tests and chaos harnesses use it to build fabrics over injected
 // transports.
 func New(addrs []string, secret []byte, cfg Config) (*Client, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.RangePages <= 0 {
+		cfg.RangePages = DefaultRangePages
+	}
+	if cfg.Vnodes <= 0 {
+		cfg.Vnodes = DefaultVnodes
+	}
+	if cfg.RebalanceBatchPages <= 0 {
+		cfg.RebalanceBatchPages = DefaultRebalanceBatchPages
+	}
+	if cfg.MaxHintBytes <= 0 {
+		cfg.MaxHintBytes = DefaultMaxHintBytes
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
 	ring, err := NewRing(addrs, cfg.Replicas, cfg.RangePages, cfg.Vnodes)
 	if err != nil {
 		return nil, err
 	}
-	secret = append([]byte(nil), secret...)
 	base := cfg.Pool.Resilience
 	if base.Name == "" {
 		base.Name = "shard"
 	}
 	c := &Client{
-		ring:     ring,
-		backends: append([]string(nil), addrs...),
-		pools:    make([]*memserver.ClientPool, len(addrs)),
-		tel:      newShardTel(base.Registry, len(addrs)),
+		cfg:      cfg,
+		secret:   append([]byte(nil), secret...),
+		baseRes:  base,
+		onState:  base.OnStateChange,
+		tel:      newShardTel(base.Registry),
+		adminSem: make(chan struct{}, 1),
+		images:   make(map[pagestore.VMID]units.Bytes),
+		vmLocks:  make(map[pagestore.VMID]*sync.Mutex),
+		pending:  make(map[rangeKey]bool),
+		hints:    make(map[string]*hintLog),
+		done:     make(chan struct{}),
 	}
+	refs := make([]*backendRef, len(addrs))
 	for i, addr := range addrs {
-		pcfg := cfg.Pool
-		pcfg.Resilience = base
-		pcfg.Resilience.Name = base.Name + "-" + strconv.Itoa(i)
-		pcfg.Resilience.JitterSeed ^= uint64(i+1) * 0xD6E8FEB86659FD93
-		if cfg.Dialer != nil {
-			addr := addr
-			dial := cfg.Dialer
-			pcfg.Resilience.Dialer = func() (*memserver.Client, error) { return dial(addr) }
-		} else {
-			addr := addr
-			timeout := pcfg.Resilience.DialTimeout
-			pcfg.Resilience.Dialer = func() (*memserver.Client, error) {
-				return memserver.Dial(addr, secret, timeout)
-			}
-		}
-		c.pools[i] = memserver.NewPool(pcfg)
+		refs[i] = c.newBackendRef(addr)
 	}
+	c.state.Store(&epochState{version: 1, ring: ring, cur: refs})
+	c.tel.backends.Set(float64(len(refs)))
 	c.tel.replicas.Set(float64(ring.Replicas()))
+	c.tel.ringVersion.Set(1)
+	c.spawn(c.probeLoop)
 	return c, nil
 }
 
-// Ring exposes the placement ring (tests, diagnostics).
-func (c *Client) Ring() *Ring { return c.ring }
+// newBackendRef allocates a backend identity: the next stable shard
+// index and a connection pool whose breaker transitions feed the
+// fabric's health machinery (hint replay, repair, the under-replication
+// gauge) before reaching any caller-supplied hook.
+func (c *Client) newBackendRef(addr string) *backendRef {
+	c.mu.Lock()
+	tidx := c.nextTidx
+	c.nextTidx++
+	c.mu.Unlock()
+	c.tel.ensure(tidx)
+	ref := &backendRef{addr: addr, tidx: tidx}
+	pcfg := c.cfg.Pool
+	pcfg.Resilience = c.baseRes
+	pcfg.Resilience.Name = c.baseRes.Name + "-" + strconv.Itoa(tidx)
+	pcfg.Resilience.JitterSeed ^= uint64(tidx+1) * 0xD6E8FEB86659FD93
+	if c.cfg.Dialer != nil {
+		dial := c.cfg.Dialer
+		pcfg.Resilience.Dialer = func() (*memserver.Client, error) { return dial(addr) }
+	} else {
+		secret := c.secret
+		timeout := pcfg.Resilience.DialTimeout
+		pcfg.Resilience.Dialer = func() (*memserver.Client, error) {
+			return memserver.Dial(addr, secret, timeout)
+		}
+	}
+	pcfg.Resilience.OnStateChange = func(from, to memserver.BreakerState) {
+		c.poolStateChanged(ref, from, to)
+	}
+	ref.pool = memserver.NewPool(pcfg)
+	return ref
+}
 
-// Backends returns the fabric's backend addresses in ring order.
-func (c *Client) Backends() []string { return append([]string(nil), c.backends...) }
+// poolStateChanged is every backend pool's aggregate breaker hook: a
+// close re-arms hint replay and crash repair, any transition refreshes
+// the under-replication gauge, and the caller's own hook (the memtap
+// degraded-gauge recompute) still fires afterwards.
+func (c *Client) poolStateChanged(ref *backendRef, from, to memserver.BreakerState) {
+	if to == memserver.BreakerClosed && from != memserver.BreakerClosed {
+		// The backend just came back: force a presence probe of every
+		// tracked VM (a restart-empty crash leaves no hint evidence)
+		// and drain any queued hints.
+		c.triggerRecover(ref.addr, true)
+	}
+	c.spawn(func() { c.refreshHealth() })
+	if c.onState != nil {
+		c.onState(from, to)
+	}
+}
 
-// Close shuts every backend pool down. Like the pools themselves, the
-// client may still be used afterwards; lanes reconnect on demand.
+// spawn runs fn on a tracked goroutine unless the client is closed.
+func (c *Client) spawn(fn func()) bool {
+	c.lifeMu.Lock()
+	if c.closed {
+		c.lifeMu.Unlock()
+		return false
+	}
+	c.wg.Add(1)
+	c.lifeMu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		fn()
+	}()
+	return true
+}
+
+// probeLoop keeps the fabric self-healing on idle or read-only
+// workloads: reads route around an open breaker, so without a prober a
+// dead backend would never see the op that closes its breaker again.
+// Each tick issues one cheap Stats probe per open backend (riding the
+// breaker's half-open window) and re-arms hint replay for backends whose
+// breaker never opened.
+func (c *Client) probeLoop() {
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	var inflight sync.Map
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		st := c.state.Load()
+		for _, ref := range st.allRefs() {
+			if ref.pool.BreakerState() != memserver.BreakerOpen {
+				c.maybeRecover(ref.addr)
+				continue
+			}
+			ref := ref
+			if _, busy := inflight.LoadOrStore(ref.addr, struct{}{}); busy {
+				continue
+			}
+			go func() {
+				defer inflight.Delete(ref.addr)
+				ref.pool.Stats() //nolint:errcheck // probe: success flips the breaker, failure re-arms it
+			}()
+		}
+	}
+}
+
+// Ring exposes the current placement ring (tests, diagnostics).
+func (c *Client) Ring() *Ring { return c.state.Load().ring }
+
+// RingVersion returns the membership epoch, bumped by every AddBackend/
+// RemoveBackend.
+func (c *Client) RingVersion() uint64 { return c.state.Load().version }
+
+// Backends returns the fabric's current backend addresses in ring order.
+func (c *Client) Backends() []string {
+	return c.state.Load().ring.Addrs()
+}
+
+// OnHealthChange registers fn to run whenever the fabric's replication
+// health changes (a breaker transition, a hint buffered or replayed, a
+// rebalance or repair settling). The memtap layer uses it to keep the
+// per-VM degraded gauge reflecting under-replication, not just total
+// loss.
+func (c *Client) OnHealthChange(fn func()) {
+	if fn == nil {
+		c.onHealth.Store(nil)
+		return
+	}
+	c.onHealth.Store(&fn)
+}
+
+// Close stops the background machinery (prober, rebalancer, hint
+// replay) and shuts every backend pool down. Like the pools themselves,
+// the client may still serve operations afterwards — lanes reconnect on
+// demand — but membership no longer heals itself.
 func (c *Client) Close() error {
+	c.lifeMu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	c.lifeMu.Unlock()
+	c.wg.Wait()
 	var first error
-	for _, p := range c.pools {
-		if err := p.Close(); err != nil && first == nil {
+	for _, ref := range c.state.Load().allRefs() {
+		if err := ref.pool.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -157,8 +451,8 @@ func (c *Client) Close() error {
 // but a probe is in flight somewhere.
 func (c *Client) BreakerState() memserver.BreakerState {
 	allOpen, anyHalf := true, false
-	for _, p := range c.pools {
-		switch p.BreakerState() {
+	for _, ref := range c.state.Load().allRefs() {
+		switch ref.pool.BreakerState() {
 		case memserver.BreakerOpen:
 		case memserver.BreakerHalfOpen:
 			anyHalf = true
@@ -180,8 +474,8 @@ func (c *Client) BreakerState() memserver.BreakerState {
 // fabric aggregate.
 func (c *Client) ResilienceStats() memserver.ResilienceStats {
 	var out memserver.ResilienceStats
-	for _, p := range c.pools {
-		st := p.ResilienceStats()
+	for _, ref := range c.state.Load().allRefs() {
+		st := ref.pool.ResilienceStats()
 		out.Retries += st.Retries
 		out.Reconnects += st.Reconnects
 		out.Failures += st.Failures
@@ -191,52 +485,152 @@ func (c *Client) ResilienceStats() memserver.ResilienceStats {
 	return out
 }
 
-// readFrom runs a read against the page's replicas in ring order:
+// tracked reports whether this client uploaded (and therefore manages
+// replication for) the VM's image.
+func (c *Client) tracked(id pagestore.VMID) bool {
+	c.mu.Lock()
+	_, ok := c.images[id]
+	c.mu.Unlock()
+	return ok
+}
+
+// vmLock returns the per-VM mutex serializing this VM's writes with the
+// rebalancer's copy batches and the hint replays (the ordering that
+// keeps replicas convergent).
+func (c *Client) vmLock(id pagestore.VMID) *sync.Mutex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lk := c.vmLocks[id]
+	if lk == nil {
+		lk = &sync.Mutex{}
+		c.vmLocks[id] = lk
+	}
+	return lk
+}
+
+func rngOf(ring *Ring, pfn pagestore.PFN) int64 { return int64(pfn) / ring.RangePages() }
+
+// isPending reports whether the range is mid-migration (its new copies
+// not yet verified). Only consulted while a transition is in flight.
+func (c *Client) isPending(k rangeKey) bool {
+	c.pendMu.RLock()
+	p := c.pending[k]
+	c.pendMu.RUnlock()
+	return p
+}
+
+func (c *Client) clearPending(k rangeKey) {
+	c.pendMu.Lock()
+	delete(c.pending, k)
+	c.pendMu.Unlock()
+}
+
+func (c *Client) pendingCount() int {
+	c.pendMu.RLock()
+	n := len(c.pending)
+	c.pendMu.RUnlock()
+	return n
+}
+
+// isTainted reports whether addr's copy of the range may be stale:
+// unreplayed hinted writes cover it, or the backend owes a full repair.
+// Tainted replicas never serve reads — returning stale bytes as success
+// would be corruption, where an error is just a failover.
+func (c *Client) isTainted(addr string, k rangeKey) bool {
+	if c.taint.Load() == 0 {
+		return false
+	}
+	c.hintMu.Lock()
+	hl := c.hints[addr]
+	bad := hl != nil && (hl.needsRepair || hl.dirty[k])
+	c.hintMu.Unlock()
+	return bad
+}
+
+// appendRef appends ref unless its address is already present.
+func appendRef(dst []*backendRef, ref *backendRef) []*backendRef {
+	for _, have := range dst {
+		if have.addr == ref.addr {
+			return dst
+		}
+	}
+	return append(dst, ref)
+}
+
+// readRefs resolves the replicas a read of (id, pfn) may be served
+// from, preferred order first. A range that is mid-migration is served
+// exclusively by its previous owners: the new owners are registered but
+// not yet verified, and an unfilled replica would answer absent pages
+// with zeroes — legitimate-looking wrong bytes.
+func (c *Client) readRefs(st *epochState, id pagestore.VMID, pfn pagestore.PFN, dst []*backendRef) []*backendRef {
+	if st.prevRing != nil && c.isPending(rangeKey{id, rngOf(st.ring, pfn)}) {
+		for _, i := range st.prevRing.Owners(id, pfn) {
+			dst = appendRef(dst, st.prev[i])
+		}
+		return dst
+	}
+	for _, i := range st.ring.Owners(id, pfn) {
+		dst = appendRef(dst, st.cur[i])
+	}
+	return dst
+}
+
+// readFrom runs a read against the page's replicas in preference order:
 // backends with an open breaker are deferred (not skipped — if every
 // replica is open the primary is still tried, riding its half-open
-// probe), and a failed fetch fails over to the next replica.
+// probe), tainted replicas are excluded outright, and a failed fetch
+// fails over to the next replica. On total failure every replica's
+// error is reported, joined with its address, so operators see which
+// replicas failed and why.
 func (c *Client) readFrom(id pagestore.VMID, pfn pagestore.PFN, fn func(p *memserver.ClientPool) error) error {
-	owners := c.ring.Owners(id, pfn)
-	var lastErr error
+	st := c.state.Load()
+	refs := c.readRefs(st, id, pfn, nil)
+	key := rangeKey{id, rngOf(st.ring, pfn)}
+	var errs []error
 	tried := 0
-	// First pass: replicas whose breaker is not open.
-	for _, b := range owners {
-		if c.pools[b].BreakerState() == memserver.BreakerOpen {
-			continue
-		}
+	try := func(ref *backendRef) bool {
 		if tried > 0 {
 			c.tel.failovers.Inc()
 		}
 		tried++
-		if err := fn(c.pools[b]); err != nil {
-			lastErr = err
-			continue
+		if err := fn(ref.pool); err != nil {
+			if isUnknownVM(err) && c.tracked(id) {
+				// The backend is up but lost a VM we registered with it:
+				// it restarted empty. Flag the repair so the replica
+				// count recovers (the read itself just fails over).
+				c.markLost(ref.addr)
+			}
+			errs = append(errs, fmt.Errorf("backend %s: %w", ref.addr, err))
+			return false
 		}
-		c.tel.reads[b].Inc()
-		return nil
+		c.tel.read(ref.tidx).Inc()
+		return true
 	}
-	// Second pass: everyone was open or failed; try the open replicas
-	// anyway so a recovering backend's half-open probe can serve us.
-	for _, b := range owners {
-		if c.pools[b].BreakerState() != memserver.BreakerOpen {
+	// First pass: clean replicas whose breaker is not open.
+	for _, ref := range refs {
+		if ref.pool.BreakerState() == memserver.BreakerOpen || c.isTainted(ref.addr, key) {
 			continue
 		}
-		if tried > 0 {
-			c.tel.failovers.Inc()
+		if try(ref) {
+			return nil
 		}
-		tried++
-		if err := fn(c.pools[b]); err != nil {
-			lastErr = err
+	}
+	// Second pass: the open ones anyway, so a recovering backend's
+	// half-open probe can serve us. Tainted replicas stay excluded.
+	for _, ref := range refs {
+		if ref.pool.BreakerState() != memserver.BreakerOpen || c.isTainted(ref.addr, key) {
 			continue
 		}
-		c.tel.reads[b].Inc()
-		return nil
+		if try(ref) {
+			return nil
+		}
 	}
 	c.tel.readErrs.Inc()
-	if lastErr == nil {
-		lastErr = memserver.ErrCircuitOpen
+	if len(errs) == 0 {
+		errs = append(errs, memserver.ErrCircuitOpen)
 	}
-	return fmt.Errorf("shard: vm %04d pfn %d: all %d replicas failed: %w", id, pfn, len(owners), lastErr)
+	return fmt.Errorf("shard: vm %04d pfn %d: all %d replicas failed: %w",
+		id, pfn, len(refs), errors.Join(errs...))
 }
 
 // GetPage fetches one guest page from the range's replica set.
@@ -262,15 +656,16 @@ func (c *Client) GetPageStaged(id pagestore.VMID, pfn pagestore.PFN) (page []byt
 	return page, wire, decompress, err
 }
 
-// GetPages fetches a batch of pages. The batch is grouped by replica
-// set — with range-aligned batches (the prefetcher's default) a whole
-// batch is one group on one shard — and the groups fetch concurrently,
-// each failing over independently.
+// GetPages fetches a batch of pages. The batch is grouped by effective
+// replica route — with range-aligned batches (the prefetcher's default)
+// a whole batch is one group on one shard — and the groups fetch
+// concurrently, each failing over independently.
 func (c *Client) GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestore.PFN][]byte, error) {
 	if len(pfns) == 0 {
 		return map[pagestore.PFN][]byte{}, nil
 	}
-	groups := c.groupByOwners(id, pfns)
+	st := c.state.Load()
+	groups := c.groupByOwners(st, id, pfns)
 	out := make(map[pagestore.PFN][]byte, len(pfns))
 	var (
 		mu       sync.Mutex
@@ -281,7 +676,7 @@ func (c *Client) GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestor
 		wg.Add(1)
 		go func(g ownerGroup) {
 			defer wg.Done()
-			// All pages in the group share owners; failover routes the
+			// All pages in the group share a route; failover routes the
 			// whole group through readFrom keyed by its first page.
 			err := c.readFrom(id, g.pfns[0], func(p *memserver.ClientPool) error {
 				pages, err := p.GetPages(id, g.pfns)
@@ -311,24 +706,25 @@ func (c *Client) GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestor
 	return out, nil
 }
 
-// ownerGroup is a run of pages sharing one replica set.
+// ownerGroup is a run of pages sharing one replica route.
 type ownerGroup struct {
 	key  string
 	pfns []pagestore.PFN
 }
 
 // groupByOwners splits a PFN batch into groups with identical replica
-// sets, preserving order within each group.
-func (c *Client) groupByOwners(id pagestore.VMID, pfns []pagestore.PFN) []ownerGroup {
+// routes, preserving order within each group.
+func (c *Client) groupByOwners(st *epochState, id pagestore.VMID, pfns []pagestore.PFN) []ownerGroup {
 	idx := make(map[string]int)
 	var groups []ownerGroup
-	var owners []int
+	var refs []*backendRef
 	var key []byte
 	for _, pfn := range pfns {
-		owners = c.ring.appendOwners(owners[:0], id, pfn)
+		refs = c.readRefs(st, id, pfn, refs[:0])
 		key = key[:0]
-		for _, o := range owners {
-			key = append(key, byte(o), byte(o>>8))
+		for _, ref := range refs {
+			key = append(key, ref.addr...)
+			key = append(key, ',')
 		}
 		k := string(key)
 		i, ok := idx[k]
@@ -342,39 +738,187 @@ func (c *Client) groupByOwners(id pagestore.VMID, pfns []pagestore.PFN) []ownerG
 	return groups
 }
 
-// eachBackend runs fn on every backend concurrently and returns the
-// first error (strict all-success, see the Client comment).
-func (c *Client) eachBackend(fn func(b int, p *memserver.ClientPool) error) error {
+// writeKind selects the replica write operation of one snapshot fan-out.
+type writeKind int
+
+const (
+	wImage writeKind = iota
+	wStreamImage
+	wDiff
+	wStreamDiff
+	wDelete // hint-log only: a Delete queued behind earlier hints
+)
+
+func (k writeKind) String() string {
+	switch k {
+	case wImage:
+		return "PutImage"
+	case wStreamImage:
+		return "StreamImage"
+	case wDiff:
+		return "PutDiff"
+	case wDelete:
+		return "Delete"
+	default:
+		return "StreamDiff"
+	}
+}
+
+func (k writeKind) image() bool { return k == wImage || k == wStreamImage }
+
+// writeSnapshot is the single replica-write fan-out behind
+// PutImage/PutDiff/StreamImage/StreamDiff. Partitioning follows the
+// current ring; ranges that are mid-migration additionally write their
+// previous owners, because those still serve the reads. A replica that
+// cannot be reached gets its part buffered as a hint; the operation as a
+// whole succeeds only if every range acknowledged on at least one clean
+// replica.
+func (c *Client) writeSnapshot(kind writeKind, id pagestore.VMID, alloc units.Bytes, snapshot []byte, opts memserver.PutOptions) error {
+	lk := c.vmLock(id)
+	lk.Lock()
+	defer lk.Unlock()
+
+	st := c.state.Load()
+	all := st.allRefs()
+	idxOf := make(map[string]int, len(all))
+	for i, ref := range all {
+		idxOf[ref.addr] = i
+	}
+	transition := st.prevRing != nil
+	rangeOwners := make(map[int64][]int)
+	parts, err := pagestore.PartitionSnapshot(snapshot, len(all), func(pfn pagestore.PFN) []int {
+		rng := rngOf(st.ring, pfn)
+		if cached, ok := rangeOwners[rng]; ok {
+			return cached
+		}
+		var owners []int
+		for _, i := range st.ring.Owners(id, pfn) {
+			owners = appendIdx(owners, idxOf[st.cur[i].addr])
+		}
+		if transition && c.isPending(rangeKey{id, rng}) {
+			for _, i := range st.prevRing.Owners(id, pfn) {
+				owners = appendIdx(owners, idxOf[st.prev[i].addr])
+			}
+		}
+		rangeOwners[rng] = owners
+		return owners
+	})
+	if err != nil {
+		return fmt.Errorf("shard: partition snapshot: %w", err)
+	}
+
+	// Ranges each backend's part covers, for the hint dirty marks.
+	backendRanges := make(map[int][]int64)
+	for rng, owners := range rangeOwners {
+		for _, i := range owners {
+			backendRanges[i] = append(backendRanges[i], rng)
+		}
+	}
+
+	errs := make([]error, len(all))
 	var wg sync.WaitGroup
-	errs := make([]error, len(c.pools))
-	for i := range c.pools {
+	for i, ref := range all {
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, ref *backendRef) {
 			defer wg.Done()
-			errs[i] = fn(i, c.pools[i])
-		}(i)
+			errs[i] = c.writePart(kind, ref, id, alloc, parts[i], opts, backendRanges[i])
+		}(i, ref)
 	}
 	wg.Wait()
+
+	var hardErrs []error
 	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("shard: backend %d (%s): %w", i, c.backends[i], err)
+		if err == nil || errors.Is(err, errHinted) {
+			continue
 		}
+		hardErrs = append(hardErrs, fmt.Errorf("backend %s: %w", all[i].addr, err))
+	}
+	if len(hardErrs) > 0 {
+		return fmt.Errorf("shard: %s vm %04d: %w", kind, id, errors.Join(hardErrs...))
+	}
+	for rng, owners := range rangeOwners {
+		acked := false
+		for _, i := range owners {
+			if errs[i] == nil {
+				acked = true
+				break
+			}
+		}
+		if !acked {
+			return fmt.Errorf("shard: %s vm %04d: range %d has no reachable replica (all owners down, writes hinted)",
+				kind, id, rng)
+		}
+	}
+	if kind.image() {
+		c.mu.Lock()
+		c.images[id] = alloc
+		c.mu.Unlock()
 	}
 	return nil
 }
 
-// partition splits a snapshot into the per-backend sub-snapshots the
-// placement dictates, every page going to each of its replicas.
-func (c *Client) partition(id pagestore.VMID, snapshot []byte) ([][]byte, error) {
-	var owners []int
-	parts, err := pagestore.PartitionSnapshot(snapshot, len(c.pools), func(pfn pagestore.PFN) []int {
-		owners = c.ring.appendOwners(owners[:0], id, pfn)
-		return owners
-	})
-	if err != nil {
-		return nil, fmt.Errorf("shard: partition snapshot: %w", err)
+// appendIdx appends i unless present.
+func appendIdx(dst []int, i int) []int {
+	for _, have := range dst {
+		if have == i {
+			return dst
+		}
 	}
-	return parts, nil
+	return append(dst, i)
+}
+
+// writePart ships one backend's partition, routing through the hint log
+// when older writes for that backend are still queued (replaying an old
+// diff over a newer direct write would resurrect stale bytes, so order
+// is preserved by queueing behind them) and buffering a fresh hint when
+// the transport fails.
+func (c *Client) writePart(kind writeKind, ref *backendRef, id pagestore.VMID, alloc units.Bytes, part []byte, opts memserver.PutOptions, ranges []int64) error {
+	if c.enqueueIfQueued(ref.addr, kind, id, alloc, part, opts, ranges) {
+		return errHinted
+	}
+	var err error
+	switch kind {
+	case wImage:
+		err = ref.pool.PutImage(id, alloc, part)
+	case wStreamImage:
+		err = ref.pool.StreamImage(id, alloc, part, opts)
+	case wDiff:
+		err = ref.pool.PutDiff(id, part)
+	default:
+		err = ref.pool.StreamDiff(id, part, opts)
+	}
+	if err == nil {
+		c.tel.write(ref.tidx).Inc()
+		c.tel.byte(ref.tidx).Add(float64(len(part)))
+		return nil
+	}
+	if memserver.IsRemoteError(err) && !isUnknownVM(err) {
+		// A healthy server refused the request: not a connectivity
+		// problem, so hinting would just replay the refusal.
+		return err
+	}
+	// Transport loss — or a backend that restarted empty and no longer
+	// knows the VM (an unknown-VM refusal on a write we know we
+	// registered): buffer the part for replay and flag the repair.
+	c.addHint(ref.addr, hint{kind: kind, vm: id, alloc: alloc, part: part, opts: opts}, ranges, isUnknownVM(err))
+	c.maybeRecover(ref.addr)
+	return errHinted
+}
+
+// isUnknownVM matches the server's refusal of an operation against a VM
+// it does not hold — the signature of a backend that restarted empty.
+func isUnknownVM(err error) bool {
+	return err != nil && memserver.IsRemoteError(err) && containsUnknownVM(err.Error())
+}
+
+func containsUnknownVM(s string) bool {
+	const needle = "unknown vm"
+	for i := 0; i+len(needle) <= len(s); i++ {
+		if s[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
 }
 
 // PutImage uploads a full image, partitioned so each backend stores the
@@ -382,79 +926,107 @@ func (c *Client) partition(id pagestore.VMID, snapshot []byte) ([][]byte, error)
 // an image — possibly holding no pages — so the whole fabric knows the
 // VM and later diffs and deletes are well-defined everywhere.
 func (c *Client) PutImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte) error {
-	parts, err := c.partition(id, snapshot)
-	if err != nil {
-		return err
-	}
-	return c.eachBackend(func(b int, p *memserver.ClientPool) error {
-		if err := p.PutImage(id, alloc, parts[b]); err != nil {
-			return err
-		}
-		c.tel.writes[b].Inc()
-		c.tel.bytes[b].Add(float64(len(parts[b])))
-		return nil
-	})
+	return c.writeSnapshot(wImage, id, alloc, snapshot, memserver.PutOptions{})
 }
 
 // PutDiff applies a differential snapshot, partitioned like PutImage.
 func (c *Client) PutDiff(id pagestore.VMID, snapshot []byte) error {
-	parts, err := c.partition(id, snapshot)
-	if err != nil {
-		return err
-	}
-	return c.eachBackend(func(b int, p *memserver.ClientPool) error {
-		if err := p.PutDiff(id, parts[b]); err != nil {
-			return err
-		}
-		c.tel.writes[b].Inc()
-		c.tel.bytes[b].Add(float64(len(parts[b])))
-		return nil
-	})
+	return c.writeSnapshot(wDiff, id, 0, snapshot, memserver.PutOptions{})
 }
 
 // StreamImage uploads a full image through each backend's chunked
 // streaming path, all backends in parallel (the detach pipeline's
 // per-server overlap, multiplied across the fabric).
 func (c *Client) StreamImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte, opts memserver.PutOptions) error {
-	parts, err := c.partition(id, snapshot)
-	if err != nil {
-		return err
-	}
-	return c.eachBackend(func(b int, p *memserver.ClientPool) error {
-		if err := p.StreamImage(id, alloc, parts[b], opts); err != nil {
-			return err
-		}
-		c.tel.writes[b].Inc()
-		c.tel.bytes[b].Add(float64(len(parts[b])))
-		return nil
-	})
+	return c.writeSnapshot(wStreamImage, id, alloc, snapshot, opts)
 }
 
 // StreamDiff uploads a differential snapshot through each backend's
 // chunked streaming path.
 func (c *Client) StreamDiff(id pagestore.VMID, snapshot []byte, opts memserver.PutOptions) error {
-	parts, err := c.partition(id, snapshot)
-	if err != nil {
-		return err
-	}
-	return c.eachBackend(func(b int, p *memserver.ClientPool) error {
-		if err := p.StreamDiff(id, parts[b], opts); err != nil {
-			return err
-		}
-		c.tel.writes[b].Inc()
-		c.tel.bytes[b].Add(float64(len(parts[b])))
-		return nil
-	})
+	return c.writeSnapshot(wStreamDiff, id, 0, snapshot, opts)
 }
 
-// Delete frees the VM's image on every backend.
+// Delete frees the VM's image on every backend (including an outgoing
+// one mid-transition). An unreachable backend gets the delete hinted so
+// it applies on rejoin; its queued writes for the VM are dropped.
 func (c *Client) Delete(id pagestore.VMID) error {
-	return c.eachBackend(func(b int, p *memserver.ClientPool) error { return p.Delete(id) })
+	lk := c.vmLock(id)
+	lk.Lock()
+	defer lk.Unlock()
+	st := c.state.Load()
+	all := st.allRefs()
+	errs := make([]error, len(all))
+	var wg sync.WaitGroup
+	for i, ref := range all {
+		wg.Add(1)
+		go func(i int, ref *backendRef) {
+			defer wg.Done()
+			if c.enqueueIfQueued(ref.addr, wDelete, id, 0, nil, memserver.PutOptions{}, nil) {
+				errs[i] = errHinted
+				return
+			}
+			err := ref.pool.Delete(id)
+			if err == nil || isUnknownVM(err) {
+				return
+			}
+			if memserver.IsRemoteError(err) {
+				errs[i] = err
+				return
+			}
+			c.addHint(ref.addr, hint{kind: wDelete, vm: id}, nil, false)
+			errs[i] = errHinted
+		}(i, ref)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	delete(c.images, id)
+	c.mu.Unlock()
+	c.pendMu.Lock()
+	for k := range c.pending {
+		if k.vm == id {
+			delete(c.pending, k)
+		}
+	}
+	c.pendMu.Unlock()
+	var hard []error
+	for i, err := range errs {
+		if err == nil || errors.Is(err, errHinted) {
+			continue
+		}
+		hard = append(hard, fmt.Errorf("backend %s: %w", all[i].addr, err))
+	}
+	if len(hard) > 0 {
+		return fmt.Errorf("shard: delete vm %04d: %w", id, errors.Join(hard...))
+	}
+	return nil
 }
 
-// SetServing toggles page serving on every backend.
+// SetServing toggles page serving on every current backend.
 func (c *Client) SetServing(on bool) error {
-	return c.eachBackend(func(b int, p *memserver.ClientPool) error { return p.SetServing(on) })
+	return c.eachBackend(func(ref *backendRef) error { return ref.pool.SetServing(on) })
+}
+
+// eachBackend runs fn on every current backend concurrently and returns
+// the first error (strict all-success).
+func (c *Client) eachBackend(fn func(ref *backendRef) error) error {
+	st := c.state.Load()
+	var wg sync.WaitGroup
+	errs := make([]error, len(st.cur))
+	for i, ref := range st.cur {
+		wg.Add(1)
+		go func(i int, ref *backendRef) {
+			defer wg.Done()
+			errs[i] = fn(ref)
+		}(i, ref)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard: backend %d (%s): %w", i, st.cur[i].addr, err)
+		}
+	}
+	return nil
 }
 
 // Stats aggregates backend counters: traffic sums across the fabric,
@@ -466,8 +1038,8 @@ func (c *Client) Stats() (memserver.Stats, error) {
 		agg memserver.Stats
 	)
 	agg.Serving = true
-	err := c.eachBackend(func(b int, p *memserver.ClientPool) error {
-		st, err := p.Stats()
+	err := c.eachBackend(func(ref *backendRef) error {
+		st, err := ref.pool.Stats()
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,606 @@
+package shard
+
+// Live membership and the background rebalancer.
+//
+// AddBackend/RemoveBackend derive a new ring and swap the whole
+// membership epoch atomically under the client; operations already in
+// flight finish against the epoch they loaded. Before the swap, every
+// range whose replica set changed is marked pending: pending ranges keep
+// reading from (and, for writes, also writing to) their previous owners,
+// because a new owner holds a registered-but-empty image whose absent
+// pages would read back as zeroes — legitimate-looking wrong bytes. The
+// rebalancer then walks the pending set, copying each range from a clean
+// previous owner to its new owners in bounded-rate batches and reading
+// every batch back byte-for-byte before the range flips over. Only
+// ranges whose ownership moved are copied; the sweep is resumable (a
+// failed range stays pending and is retried) and a crash of the client
+// process loses only bookkeeping — the data is still fully readable on
+// the old owners, and re-issuing the membership change resumes the copy.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"oasis/internal/memserver"
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// rebalanceRetryPause is the backoff between sweeps over ranges whose
+// migration failed (source unreachable, destination still draining
+// hints).
+const rebalanceRetryPause = 50 * time.Millisecond
+
+// AddBackend grows the fabric: the new backend is dialed and probed,
+// registered with every tracked VM, and swapped into the ring; the
+// background rebalancer then migrates the ranges that moved to it.
+// Returns once the new epoch is live (use WaitRebalance to block until
+// the data movement completes). Fails if a membership change is already
+// in flight.
+func (c *Client) AddBackend(addr string) error {
+	return c.changeMembership(addr, true)
+}
+
+// RemoveBackend shrinks the fabric. The departing backend keeps serving
+// reads for the ranges it owned until their new copies are verified (a
+// planned drain); if it is dead, the surviving replicas serve as the
+// copy source instead, which is also the fabric's re-replication path
+// for ranges that dropped below their replica target. Returns once the
+// new epoch is live. Fails if a membership change is already in flight.
+func (c *Client) RemoveBackend(addr string) error {
+	return c.changeMembership(addr, false)
+}
+
+func (c *Client) changeMembership(addr string, add bool) error {
+	select {
+	case c.adminSem <- struct{}{}:
+	default:
+		return fmt.Errorf("shard: membership change already in progress (ring version %d)", c.RingVersion())
+	}
+	release := func() { <-c.adminSem }
+
+	st := c.state.Load()
+	var (
+		newRing *Ring
+		joined  *backendRef
+		err     error
+	)
+	if add {
+		newRing, err = st.ring.WithBackend(addr)
+	} else {
+		newRing, err = st.ring.WithoutBackend(addr)
+	}
+	if err != nil {
+		release()
+		return err
+	}
+
+	// Tracked VMs at the moment of the swap: the set the transition
+	// registers and rebalances. Images uploaded later write through the
+	// new ring directly and need no migration.
+	c.mu.Lock()
+	images := make(map[pagestore.VMID]units.Bytes, len(c.images))
+	for id, alloc := range c.images {
+		images[id] = alloc
+	}
+	c.mu.Unlock()
+
+	if add {
+		joined = c.newBackendRef(addr)
+		if _, err := joined.pool.Stats(); err != nil {
+			joined.pool.Close() //nolint:errcheck // never served traffic
+			release()
+			return fmt.Errorf("shard: backend %s not reachable: %w", addr, err)
+		}
+		// Register every tracked VM with an empty image before any read
+		// or write can route to the newcomer. This also wipes whatever a
+		// re-added backend still held — its data is stale by definition,
+		// and the migration below recopies the ranges it now owns from
+		// the authoritative replicas.
+		for id, alloc := range images {
+			if err := c.registerEmpty(joined, id, alloc); err != nil {
+				joined.pool.Close() //nolint:errcheck
+				release()
+				return fmt.Errorf("shard: backend %s: register vm %04d: %w", addr, id, err)
+			}
+		}
+	}
+
+	// New backendRef slice aligned with the new ring's address order,
+	// reusing the live refs (their pools, breakers and telemetry indices
+	// carry over).
+	newAddrs := newRing.Addrs()
+	cur := make([]*backendRef, len(newAddrs))
+	for i, a := range newAddrs {
+		if joined != nil && a == addr {
+			cur[i] = joined
+			continue
+		}
+		cur[i] = st.refByAddr(a)
+	}
+
+	// Mark the moved ranges pending BEFORE the swap: the instant the new
+	// epoch is visible, readers must already know which ranges still
+	// live on the old owners.
+	moved := movedRanges(st.ring, newRing, images)
+	c.pendMu.Lock()
+	for _, k := range moved {
+		c.pending[k] = true
+	}
+	c.pendMu.Unlock()
+
+	next := &epochState{
+		version:  st.version + 1,
+		ring:     newRing,
+		cur:      cur,
+		prevRing: st.ring,
+		prev:     st.cur,
+	}
+	done := make(chan struct{})
+	c.mu.Lock()
+	c.transDone = done
+	c.lastRebalErr = nil
+	c.mu.Unlock()
+	c.state.Store(next)
+	c.tel.backends.Set(float64(len(cur)))
+	c.tel.replicas.Set(float64(newRing.Replicas()))
+	c.tel.ringVersion.Set(float64(next.version))
+	c.tel.rebalances.Inc()
+	c.refreshHealth()
+
+	if !c.spawn(func() { c.runRebalance(next, done) }) {
+		// Client closed mid-change: settle synchronously so the epoch is
+		// at least consistent.
+		c.settle(next, done)
+	}
+	return nil
+}
+
+// registerEmpty creates the VM on a joining backend as an empty image
+// (atomic whole-image replace). Runs under the VM lock so it cannot
+// interleave with a live upload of the same VM.
+func (c *Client) registerEmpty(ref *backendRef, id pagestore.VMID, alloc units.Bytes) error {
+	lk := c.vmLock(id)
+	lk.Lock()
+	defer lk.Unlock()
+	c.mu.Lock()
+	_, still := c.images[id]
+	c.mu.Unlock()
+	if !still {
+		return nil // deleted while the change was being prepared
+	}
+	enc, _, err := pagestore.EncodeAll(pagestore.NewImage(alloc))
+	if err != nil {
+		return err
+	}
+	return ref.pool.PutImage(id, alloc, enc)
+}
+
+// movedRanges lists every (vm, range) whose replica set differs between
+// the two rings. Owner sets are compared by address, so index
+// permutations do not count as movement.
+func movedRanges(oldRing, newRing *Ring, images map[pagestore.VMID]units.Bytes) []rangeKey {
+	var moved []rangeKey
+	rp := newRing.RangePages()
+	for id, alloc := range images {
+		pages := alloc.Pages()
+		for rng := int64(0); rng*rp < pages; rng++ {
+			pfn := pagestore.PFN(rng * rp)
+			if !sameAddrSet(oldRing.OwnerAddrs(id, pfn), newRing.OwnerAddrs(id, pfn)) {
+				moved = append(moved, rangeKey{id, rng})
+			}
+		}
+	}
+	return moved
+}
+
+func sameAddrSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// runRebalance drains the pending set: sweep, migrate what it can,
+// back off, retry what failed — until every range flipped over or the
+// client closes. Then the transition settles: the previous ring is
+// dropped and any backend that left the membership has its pool closed.
+func (c *Client) runRebalance(st *epochState, done chan struct{}) {
+	for {
+		c.pendMu.RLock()
+		keys := make([]rangeKey, 0, len(c.pending))
+		for k := range c.pending {
+			keys = append(keys, k)
+		}
+		c.pendMu.RUnlock()
+		if len(keys) == 0 {
+			break
+		}
+		var lastErr error
+		for _, k := range keys {
+			select {
+			case <-c.done:
+				return // resumes when the change is re-issued
+			default:
+			}
+			if err := c.migrateRange(st, k); err != nil {
+				lastErr = err
+			}
+		}
+		if lastErr == nil {
+			continue // flush any ranges added between snapshot and now
+		}
+		c.mu.Lock()
+		c.lastRebalErr = lastErr
+		c.mu.Unlock()
+		select {
+		case <-c.done:
+			return
+		case <-time.After(rebalanceRetryPause):
+		}
+	}
+	c.settle(st, done)
+}
+
+// settle completes a transition: drop the previous ring from the epoch,
+// close the pools of backends that are no longer members, release the
+// admin slot and wake WaitRebalance callers.
+func (c *Client) settle(st *epochState, done chan struct{}) {
+	settled := &epochState{version: st.version, ring: st.ring, cur: st.cur}
+	c.state.Store(settled)
+	for _, ref := range st.prev {
+		if settled.refByAddr(ref.addr) == nil {
+			ref.pool.Close() //nolint:errcheck // retired backend
+			c.dropHints(ref.addr)
+		}
+	}
+	c.mu.Lock()
+	c.transDone = nil
+	c.mu.Unlock()
+	<-c.adminSem
+	c.refreshHealth()
+	close(done)
+}
+
+// migrateRange copies one pending range from its previous owners to the
+// new ones and verifies the copy byte-for-byte before flipping reads
+// over. Holding the VM lock serializes the copy against writes, hint
+// replays and repairs of the same VM, so the source cannot change under
+// the verify.
+func (c *Client) migrateRange(st *epochState, k rangeKey) error {
+	lk := c.vmLock(k.vm)
+	lk.Lock()
+	defer lk.Unlock()
+	if !c.isPending(k) {
+		return nil
+	}
+	c.mu.Lock()
+	alloc, tracked := c.images[k.vm]
+	c.mu.Unlock()
+	if !tracked {
+		// Deleted mid-transition; nothing to move.
+		c.clearPending(k)
+		return nil
+	}
+
+	rp := st.ring.RangePages()
+	start := k.rng * rp
+	pages := alloc.Pages()
+	if start >= pages {
+		c.clearPending(k)
+		return nil
+	}
+	end := start + rp
+	if end > pages {
+		end = pages
+	}
+	pfn0 := pagestore.PFN(start)
+
+	// Destinations: new owners that were not owners before. Refuse to
+	// copy onto a backend that still owes hint replays — the queued
+	// writes would land on top of (and behind) the fresh copy in
+	// unknown order.
+	prevOwners := st.prevRing.OwnerAddrs(k.vm, pfn0)
+	var dsts []*backendRef
+	for _, i := range st.ring.Owners(k.vm, pfn0) {
+		ref := st.cur[i]
+		isOld := false
+		for _, a := range prevOwners {
+			if a == ref.addr {
+				isOld = true
+				break
+			}
+		}
+		if isOld {
+			continue
+		}
+		if !c.hintLogClean(ref.addr) {
+			return fmt.Errorf("shard: vm %04d range %d: destination %s draining hints", k.vm, k.rng, ref.addr)
+		}
+		dsts = append(dsts, ref)
+	}
+	if len(dsts) == 0 {
+		// Pure shrink of the replica set (or a clamp change): nothing to
+		// copy, the surviving owners already hold the range.
+		c.clearPending(k)
+		c.tel.rebalRanges.Inc()
+		return nil
+	}
+
+	im := pagestore.NewImage(alloc)
+	var copied int64
+	batch := int64(c.cfg.RebalanceBatchPages)
+	for bs := start; bs < end; bs += batch {
+		be := bs + batch
+		if be > end {
+			be = end
+		}
+		pfns := make([]pagestore.PFN, 0, be-bs)
+		for p := bs; p < be; p++ {
+			pfns = append(pfns, pagestore.PFN(p))
+		}
+		src, err := c.fetchFromPrev(st, k, pfns)
+		if err != nil {
+			return err
+		}
+		for pfn, pg := range src {
+			if err := im.Write(pfn, pg); err != nil {
+				return fmt.Errorf("shard: migrate vm %04d range %d: %w", k.vm, k.rng, err)
+			}
+		}
+		// EncodePages (not EncodeAll) emits an explicit entry for every
+		// page of the batch, zero pages included — applying the diff
+		// clears any stale bytes a re-added backend might still hold for
+		// this range.
+		enc, err := pagestore.EncodePages(im, pfns)
+		if err != nil {
+			return fmt.Errorf("shard: migrate vm %04d range %d: encode: %w", k.vm, k.rng, err)
+		}
+		for _, dst := range dsts {
+			if err := dst.pool.PutDiff(k.vm, enc); err != nil {
+				return fmt.Errorf("shard: migrate vm %04d range %d: copy to %s: %w", k.vm, k.rng, dst.addr, err)
+			}
+			got, err := dst.pool.GetPages(k.vm, pfns)
+			if err != nil {
+				return fmt.Errorf("shard: migrate vm %04d range %d: verify read %s: %w", k.vm, k.rng, dst.addr, err)
+			}
+			for _, pfn := range pfns {
+				want := src[pfn]
+				if !pagesEqual(want, got[pfn]) {
+					c.tel.rebalVerifyFail.Inc()
+					return fmt.Errorf("shard: migrate vm %04d range %d: verify mismatch at pfn %d on %s",
+						k.vm, k.rng, pfn, dst.addr)
+				}
+			}
+			c.tel.write(dst.tidx).Inc()
+			c.tel.byte(dst.tidx).Add(float64(len(enc)))
+			copied += int64(len(enc))
+		}
+		c.rateLimit(int64(len(dsts)) * int64(len(enc)))
+	}
+
+	c.clearPending(k)
+	c.tel.rebalRanges.Inc()
+	c.tel.rebalBytes.Add(float64(copied))
+	return nil
+}
+
+// pagesEqual compares two pages, treating nil/empty as a zero page.
+func pagesEqual(a, b []byte) bool {
+	if len(a) == 0 {
+		return len(b) == 0 || pagestore.IsZeroPage(b)
+	}
+	if len(b) == 0 {
+		return pagestore.IsZeroPage(a)
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchFromPrev reads a batch of a pending range from its previous
+// owners (the copies that served every acknowledged write), failing
+// over between them and skipping tainted replicas.
+func (c *Client) fetchFromPrev(st *epochState, k rangeKey, pfns []pagestore.PFN) (map[pagestore.PFN][]byte, error) {
+	var errs []error
+	for _, i := range st.prevRing.Owners(k.vm, pfns[0]) {
+		ref := st.prev[i]
+		if c.isTainted(ref.addr, k) {
+			continue
+		}
+		got, err := ref.pool.GetPages(k.vm, pfns)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("backend %s: %w", ref.addr, err))
+			continue
+		}
+		return got, nil
+	}
+	if len(errs) == 0 {
+		errs = append(errs, errors.New("all previous owners tainted"))
+	}
+	return nil, fmt.Errorf("shard: migrate vm %04d range %d: no previous owner readable: %w",
+		k.vm, k.rng, errors.Join(errs...))
+}
+
+// breakerName renders a breaker state for the admin status surface.
+func breakerName(s memserver.BreakerState) string {
+	switch s {
+	case memserver.BreakerOpen:
+		return "open"
+	case memserver.BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// rateLimit paces the rebalancer/repair copy streams to
+// RebalanceBytesPerSec (0 = unpaced), so data movement does not starve
+// foreground page traffic.
+func (c *Client) rateLimit(n int64) {
+	rate := c.cfg.RebalanceBytesPerSec
+	if rate <= 0 || n <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) / float64(rate) * float64(time.Second))
+	if d <= 0 {
+		return
+	}
+	select {
+	case <-time.After(d):
+	case <-c.done:
+	}
+}
+
+// refreshHealth recomputes the under-replication gauge and notifies the
+// registered health hook (the memtap degraded gauge).
+func (c *Client) refreshHealth() {
+	n := c.computeUnderreplicated()
+	c.tel.underrepl.Set(float64(n))
+	if fn := c.onHealth.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// UnderreplicatedRanges counts tracked page ranges currently served by
+// fewer live, clean replicas than their target (the configured replica
+// count clamped to the membership size). It is 0 on a healthy fabric
+// and returns to 0 once hint replay, repair and rebalancing converge.
+func (c *Client) UnderreplicatedRanges() int { return c.computeUnderreplicated() }
+
+func (c *Client) computeUnderreplicated() int {
+	st := c.state.Load()
+	c.mu.Lock()
+	images := make(map[pagestore.VMID]units.Bytes, len(c.images))
+	for id, alloc := range c.images {
+		images[id] = alloc
+	}
+	c.mu.Unlock()
+	rp := st.ring.RangePages()
+	under := 0
+	for id, alloc := range images {
+		pages := alloc.Pages()
+		for rng := int64(0); rng*rp < pages; rng++ {
+			k := rangeKey{id, rng}
+			pfn := pagestore.PFN(rng * rp)
+			ring, refs := st.ring, st.cur
+			if st.prevRing != nil && c.isPending(k) {
+				ring, refs = st.prevRing, st.prev
+			}
+			target := ring.Replicas()
+			live := 0
+			for _, i := range ring.Owners(id, pfn) {
+				ref := refs[i]
+				if ref.pool.BreakerState() == memserver.BreakerOpen || c.isTainted(ref.addr, k) {
+					continue
+				}
+				live++
+			}
+			if live < target {
+				under++
+			}
+		}
+	}
+	return under
+}
+
+// Status reports the fabric's membership, rebalance and hint state for
+// the admin surface.
+type Status struct {
+	RingVersion           uint64
+	Replicas              int
+	Backends              []BackendStatus
+	Rebalancing           bool
+	PendingRanges         int
+	UnderreplicatedRanges int
+	LastRebalanceError    string
+}
+
+// BackendStatus is one backend's health as seen by the fabric client.
+type BackendStatus struct {
+	Addr        string
+	Breaker     string
+	Draining    bool // outgoing member still serving mid-transition
+	HintQueue   int
+	HintBytes   int64
+	NeedsRepair bool
+}
+
+// FabricStatus snapshots the fabric state (membership epoch, per-backend
+// breaker/hint health, rebalance progress).
+func (c *Client) FabricStatus() Status {
+	st := c.state.Load()
+	out := Status{
+		RingVersion:           st.version,
+		Replicas:              st.ring.Replicas(),
+		Rebalancing:           st.prevRing != nil,
+		PendingRanges:         c.pendingCount(),
+		UnderreplicatedRanges: c.computeUnderreplicated(),
+	}
+	c.mu.Lock()
+	if c.lastRebalErr != nil {
+		out.LastRebalanceError = c.lastRebalErr.Error()
+	}
+	c.mu.Unlock()
+	for _, ref := range st.allRefs() {
+		bs := BackendStatus{
+			Addr:     ref.addr,
+			Breaker:  breakerName(ref.pool.BreakerState()),
+			Draining: !st.ring.HasBackend(ref.addr),
+		}
+		c.hintMu.Lock()
+		if hl := c.hints[ref.addr]; hl != nil {
+			bs.HintQueue = len(hl.queue)
+			bs.HintBytes = hl.bytes
+			bs.NeedsRepair = hl.needsRepair
+		}
+		c.hintMu.Unlock()
+		out.Backends = append(out.Backends, bs)
+	}
+	return out
+}
+
+// WaitRebalance blocks until the in-flight membership transition (if
+// any) has fully settled — every moved range copied and verified — or
+// the timeout elapses.
+func (c *Client) WaitRebalance(timeout time.Duration) error {
+	c.mu.Lock()
+	ch := c.transDone
+	c.mu.Unlock()
+	if ch == nil {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		err := c.lastRebalErr
+		pending := c.pendingCount()
+		c.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard: rebalance still running after %v (%d ranges pending): last error: %w",
+				timeout, pending, err)
+		}
+		return fmt.Errorf("shard: rebalance still running after %v (%d ranges pending)", timeout, pending)
+	}
+}

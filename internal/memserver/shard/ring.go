@@ -38,12 +38,18 @@ const DefaultVnodes = 64
 const DefaultReplicas = 2
 
 // Ring is a deterministic consistent-hash ring over backend indices.
-// It is immutable after construction and safe for concurrent use.
+// It is immutable after construction and safe for concurrent use;
+// membership changes derive a new ring (WithBackend/WithoutBackend)
+// instead of mutating an existing one, which is what lets the elastic
+// client swap rings atomically under in-flight operations.
 type Ring struct {
-	backends   int
-	replicas   int
-	rangePages int64
-	points     []ringPoint
+	addrs       []string
+	backends    int
+	replicas    int // effective (clamped to the backend count)
+	reqReplicas int // as requested; re-clamped on membership changes
+	rangePages  int64
+	vnodes      int
+	points      []ringPoint
 }
 
 type ringPoint struct {
@@ -62,6 +68,7 @@ func NewRing(addrs []string, replicas, rangePages, vnodes int) (*Ring, error) {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
+	reqReplicas := replicas
 	if replicas > len(addrs) {
 		replicas = len(addrs)
 	}
@@ -72,10 +79,13 @@ func NewRing(addrs []string, replicas, rangePages, vnodes int) (*Ring, error) {
 		vnodes = DefaultVnodes
 	}
 	r := &Ring{
-		backends:   len(addrs),
-		replicas:   replicas,
-		rangePages: int64(rangePages),
-		points:     make([]ringPoint, 0, len(addrs)*vnodes),
+		addrs:       append([]string(nil), addrs...),
+		backends:    len(addrs),
+		replicas:    replicas,
+		reqReplicas: reqReplicas,
+		rangePages:  int64(rangePages),
+		vnodes:      vnodes,
+		points:      make([]ringPoint, 0, len(addrs)*vnodes),
 	}
 	for i, addr := range addrs {
 		h := hashString(addr)
@@ -98,6 +108,74 @@ func (r *Ring) Replicas() int { return r.replicas }
 
 // RangePages returns the placement-unit size in pages.
 func (r *Ring) RangePages() int64 { return r.rangePages }
+
+// Addrs returns the backend addresses the ring was built over, in their
+// construction order (backend index i is Addrs()[i]).
+func (r *Ring) Addrs() []string { return append([]string(nil), r.addrs...) }
+
+// HasBackend reports whether addr is a member of the ring.
+func (r *Ring) HasBackend(addr string) bool {
+	for _, a := range r.addrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// WithBackend derives a ring with addr added, keeping the requested
+// replica count, range size and vnode count. The replica count may grow
+// back toward the requested value if it was clamped by a small fabric.
+func (r *Ring) WithBackend(addr string) (*Ring, error) {
+	if r.HasBackend(addr) {
+		return nil, fmt.Errorf("shard: backend %s already in the ring", addr)
+	}
+	addrs := append(append(make([]string, 0, len(r.addrs)+1), r.addrs...), addr)
+	return NewRing(addrs, r.reqReplicas, int(r.rangePages), r.vnodes)
+}
+
+// WithoutBackend derives a ring with addr removed. Removing the last
+// backend or a non-member is an error.
+func (r *Ring) WithoutBackend(addr string) (*Ring, error) {
+	addrs := make([]string, 0, len(r.addrs))
+	for _, a := range r.addrs {
+		if a != addr {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == len(r.addrs) {
+		return nil, fmt.Errorf("shard: backend %s is not in the ring", addr)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard: cannot remove the last backend %s", addr)
+	}
+	return NewRing(addrs, r.reqReplicas, int(r.rangePages), r.vnodes)
+}
+
+// OwnerAddrs is Owners resolved to backend addresses. Placement hashes
+// only the address strings, so owner addresses are comparable across
+// rings and across processes even when the index order differs.
+func (r *Ring) OwnerAddrs(id pagestore.VMID, pfn pagestore.PFN) []string {
+	owners := r.appendOwners(make([]int, 0, r.replicas), id, pfn)
+	out := make([]string, len(owners))
+	for i, o := range owners {
+		out[i] = r.addrs[o]
+	}
+	return out
+}
+
+// Fingerprint is a deterministic digest of the ring's placement: the
+// sorted point sequence (by address, so index permutations cancel out)
+// folded with the geometry. Two rings with the same membership,
+// replicas, range size and vnodes fingerprint identically in any
+// process; any membership change alters it.
+func (r *Ring) Fingerprint() uint64 {
+	h := mix64(uint64(r.replicas)<<32 ^ uint64(r.rangePages))
+	for _, p := range r.points {
+		h = mix64(h ^ p.hash ^ hashString(r.addrs[p.backend]))
+	}
+	return h
+}
 
 // Owners returns the backend indices holding the page, primary first,
 // then the failover replicas in ring order. The slice is freshly

@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"oasis/internal/pagestore"
+)
+
+// propertyAddrs builds a deterministic N-backend membership.
+func propertyAddrs(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("10.0.0.%d:7070", i+1)
+	}
+	return addrs
+}
+
+// enumerateOwnerSets returns the owner-address set of every (vm, range)
+// in a small synthetic population.
+func enumerateOwnerSets(r *Ring, vms, rangesPerVM int) map[rangeKey][]string {
+	out := make(map[rangeKey][]string, vms*rangesPerVM)
+	for vm := 1; vm <= vms; vm++ {
+		for rng := 0; rng < rangesPerVM; rng++ {
+			id := pagestore.VMID(vm)
+			pfn := pagestore.PFN(int64(rng) * r.RangePages())
+			out[rangeKey{id, int64(rng)}] = r.OwnerAddrs(id, pfn)
+		}
+	}
+	return out
+}
+
+func containsAddr(set []string, addr string) bool {
+	for _, a := range set {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRingMinimalDisruptionOnAdd is the consistent-hashing property the
+// rebalancer's cost model rests on: adding one backend to an N-backend
+// ring moves only the ranges the newcomer now owns — no collateral
+// movement — and their count stays near the R/(N+1) expectation.
+func TestRingMinimalDisruptionOnAdd(t *testing.T) {
+	const n, vms, rangesPerVM = 8, 4, 128
+	addrs := propertyAddrs(n)
+	old, err := NewRing(addrs, 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const newcomer = "10.0.1.99:7070"
+	grown, err := old.WithBackend(newcomer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := enumerateOwnerSets(old, vms, rangesPerVM)
+	after := enumerateOwnerSets(grown, vms, rangesPerVM)
+	total := len(before)
+	moved := 0
+	for k, oldSet := range before {
+		newSet := after[k]
+		if sameAddrSet(oldSet, newSet) {
+			if containsAddr(newSet, newcomer) {
+				t.Fatalf("range %+v gained the newcomer without its owner set changing", k)
+			}
+			continue
+		}
+		moved++
+		// Exact minimal disruption: a set may only change by gaining the
+		// newcomer; every surviving owner was an owner before.
+		if !containsAddr(newSet, newcomer) {
+			t.Fatalf("range %+v moved without involving the added backend: %v -> %v", k, oldSet, newSet)
+		}
+		for _, a := range newSet {
+			if a != newcomer && !containsAddr(oldSet, a) {
+				t.Fatalf("range %+v reshuffled beyond the added backend: %v -> %v", k, oldSet, newSet)
+			}
+		}
+	}
+	// Count bound: expectation is total*R/(N+1); allow 2x for vnode
+	// placement variance (64 vnodes per backend).
+	bound := 2 * total * grown.Replicas() / (n + 1)
+	if moved == 0 {
+		t.Fatal("adding a backend moved nothing; the ring is not redistributing")
+	}
+	if moved > bound {
+		t.Fatalf("adding one backend moved %d/%d ranges, above the ~R/(N+1) bound of %d", moved, total, bound)
+	}
+}
+
+// TestRingMinimalDisruptionOnRemove is the removal dual: only ranges
+// the departing backend owned change owners.
+func TestRingMinimalDisruptionOnRemove(t *testing.T) {
+	const n, vms, rangesPerVM = 8, 4, 128
+	addrs := propertyAddrs(n)
+	old, err := NewRing(addrs, 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := addrs[3]
+	shrunk, err := old.WithoutBackend(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := enumerateOwnerSets(old, vms, rangesPerVM)
+	after := enumerateOwnerSets(shrunk, vms, rangesPerVM)
+	total := len(before)
+	moved := 0
+	for k, oldSet := range before {
+		newSet := after[k]
+		if sameAddrSet(oldSet, newSet) {
+			continue
+		}
+		moved++
+		if !containsAddr(oldSet, victim) {
+			t.Fatalf("range %+v moved although the removed backend never owned it: %v -> %v", k, oldSet, newSet)
+		}
+		for _, a := range oldSet {
+			if a != victim && !containsAddr(newSet, a) {
+				t.Fatalf("range %+v lost a surviving owner: %v -> %v", k, oldSet, newSet)
+			}
+		}
+	}
+	bound := 2 * total * old.Replicas() / n
+	if moved == 0 {
+		t.Fatal("removing an owner moved nothing")
+	}
+	if moved > bound {
+		t.Fatalf("removing one backend moved %d/%d ranges, above the ~R/N bound of %d", moved, total, bound)
+	}
+}
+
+// TestRingFingerprintDeterministic pins cross-process determinism: the
+// same membership yields an identical ring (same fingerprint, same
+// placement) regardless of the order the addresses arrive in, and any
+// membership or geometry change alters the fingerprint.
+func TestRingFingerprintDeterministic(t *testing.T) {
+	addrs := propertyAddrs(5)
+	a, err := NewRing(addrs, 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuilt from scratch (a different "process"): byte-identical
+	// placement and fingerprint.
+	b, err := NewRing(addrs, 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical memberships fingerprint differently")
+	}
+	// Permuted address order: placement is keyed by address, so owners
+	// and fingerprint agree.
+	perm := []string{addrs[3], addrs[0], addrs[4], addrs[2], addrs[1]}
+	p, err := NewRing(perm, 2, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != p.Fingerprint() {
+		t.Fatal("address-order permutation changed the ring fingerprint")
+	}
+	for vm := pagestore.VMID(1); vm <= 8; vm++ {
+		for pfn := pagestore.PFN(0); pfn < 512; pfn += 8 {
+			x, y := a.OwnerAddrs(vm, pfn), p.OwnerAddrs(vm, pfn)
+			if len(x) != len(y) {
+				t.Fatalf("owner count diverges for vm %d pfn %d", vm, pfn)
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					t.Fatalf("owner order diverges for vm %d pfn %d: %v vs %v", vm, pfn, x, y)
+				}
+			}
+		}
+	}
+	// Any membership change moves the fingerprint.
+	grown, err := a.WithBackend("10.9.9.9:7070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Fingerprint() == a.Fingerprint() {
+		t.Fatal("adding a backend kept the fingerprint")
+	}
+	back, err := grown.WithoutBackend("10.9.9.9:7070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != a.Fingerprint() {
+		t.Fatal("add + remove did not return to the original fingerprint")
+	}
+	// Geometry changes count too.
+	r3, err := NewRing(addrs, 3, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Fingerprint() == a.Fingerprint() {
+		t.Fatal("replica-count change kept the fingerprint")
+	}
+}

@@ -2,49 +2,116 @@ package shard
 
 import (
 	"strconv"
+	"sync"
 
 	"oasis/internal/telemetry"
 )
 
 // Live telemetry for the shard fabric (oasis_shard_*; see
 // OBSERVABILITY.md). Per-backend series are labeled by shard index, not
-// address: indices are stable across scrapes and bounded by the fabric
-// size. The per-connection behaviour underneath (retries, breaker state,
-// pool dispatch) stays on the oasis_client_* series each backend pool
-// already exports under its own client label.
+// address: indices are stable for the life of a backend (a backend added
+// later gets the next free index, a removed backend's index is retired),
+// so series never silently change meaning across membership changes. The
+// per-connection behaviour underneath (retries, breaker state, pool
+// dispatch) stays on the oasis_client_* series each backend pool already
+// exports under its own client label.
 type shardTel struct {
-	backends  *telemetry.Gauge
-	replicas  *telemetry.Gauge
-	reads     []*telemetry.Counter // reads served, by shard
-	writes    []*telemetry.Counter // replica write ops, by shard
-	bytes     []*telemetry.Counter // partitioned upload bytes, by shard
-	failovers *telemetry.Counter
-	readErrs  *telemetry.Counter
+	reg         *telemetry.Registry
+	backends    *telemetry.Gauge
+	replicas    *telemetry.Gauge
+	ringVersion *telemetry.Gauge
+	underrepl   *telemetry.Gauge
+	failovers   *telemetry.Counter
+	readErrs    *telemetry.Counter
+
+	// Elastic-membership instruments: the rebalancer's progress, the
+	// hinted-handoff buffers, and crash-rejoin repairs.
+	rebalances      *telemetry.Counter
+	rebalRanges     *telemetry.Counter
+	rebalBytes      *telemetry.Counter
+	rebalVerifyFail *telemetry.Counter
+	repairs         *telemetry.Counter
+	hintsBuffered   *telemetry.Counter
+	hintsReplayed   *telemetry.Counter
+	hintsDropped    *telemetry.Counter
+	hintBytes       *telemetry.Gauge
+
+	// Per-backend counters grow as backends join; reads on the hot path
+	// take only the RLock.
+	mu     sync.RWMutex
+	reads  []*telemetry.Counter // reads served, by shard
+	writes []*telemetry.Counter // replica write ops, by shard
+	bytes  []*telemetry.Counter // partitioned upload bytes, by shard
 }
 
-func newShardTel(r *telemetry.Registry, n int) *shardTel {
+func newShardTel(r *telemetry.Registry) *shardTel {
 	if r == nil {
 		r = telemetry.Default
 	}
-	t := &shardTel{
+	return &shardTel{
+		reg: r,
 		backends: r.Gauge("oasis_shard_backends",
 			"Backend memory servers in the shard fabric."),
 		replicas: r.Gauge("oasis_shard_replicas",
 			"Replica copies written per page range."),
+		ringVersion: r.Gauge("oasis_shard_ring_version",
+			"Membership epoch of the placement ring; bumps on every add/remove."),
+		underrepl: r.Gauge("oasis_shard_underreplicated_ranges",
+			"Tracked page ranges currently below their replica target (live, clean copies)."),
 		failovers: r.Counter("oasis_shard_read_failovers_total",
 			"Reads redirected to a replica after the preferred shard failed or its breaker was open."),
 		readErrs: r.Counter("oasis_shard_read_errors_total",
 			"Reads that failed on every replica."),
+		rebalances: r.Counter("oasis_shard_rebalance_transitions_total",
+			"Membership transitions (backend add/remove) started."),
+		rebalRanges: r.Counter("oasis_shard_rebalance_ranges_total",
+			"Page ranges migrated and byte-verified by the rebalancer."),
+		rebalBytes: r.Counter("oasis_shard_rebalance_bytes_total",
+			"Encoded snapshot bytes copied by the rebalancer and repair paths."),
+		rebalVerifyFail: r.Counter("oasis_shard_rebalance_verify_failures_total",
+			"Range copies whose read-back did not match the source (retried)."),
+		repairs: r.Counter("oasis_shard_repairs_total",
+			"Per-VM re-replications after a backend rejoined without its data."),
+		hintsBuffered: r.Counter("oasis_shard_hinted_writes_total",
+			"Writes buffered for an unreachable backend (hinted handoff)."),
+		hintsReplayed: r.Counter("oasis_shard_hint_replays_total",
+			"Buffered writes replayed to a rejoined backend."),
+		hintsDropped: r.Counter("oasis_shard_hints_dropped_total",
+			"Buffered writes discarded (hint buffer overflow or full repair superseding them)."),
+		hintBytes: r.Gauge("oasis_shard_hint_bytes",
+			"Bytes currently buffered for unreachable backends across all hint logs."),
 	}
-	for i := 0; i < n; i++ {
-		l := telemetry.L("shard", strconv.Itoa(i))
-		t.reads = append(t.reads, r.Counter("oasis_shard_reads_total",
+}
+
+// ensure grows the per-backend series to cover shard index idx.
+func (t *shardTel) ensure(idx int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.reads) <= idx {
+		l := telemetry.L("shard", strconv.Itoa(len(t.reads)))
+		t.reads = append(t.reads, t.reg.Counter("oasis_shard_reads_total",
 			"Read operations served, by shard.", l))
-		t.writes = append(t.writes, r.Counter("oasis_shard_writes_total",
+		t.writes = append(t.writes, t.reg.Counter("oasis_shard_writes_total",
 			"Replica write operations issued, by shard.", l))
-		t.bytes = append(t.bytes, r.Counter("oasis_shard_upload_bytes_total",
+		t.bytes = append(t.bytes, t.reg.Counter("oasis_shard_upload_bytes_total",
 			"Partitioned snapshot bytes uploaded, by shard.", l))
 	}
-	t.backends.Set(float64(n))
-	return t
+}
+
+func (t *shardTel) read(idx int) *telemetry.Counter {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.reads[idx]
+}
+
+func (t *shardTel) write(idx int) *telemetry.Counter {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.writes[idx]
+}
+
+func (t *shardTel) byte(idx int) *telemetry.Counter {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytes[idx]
 }

@@ -68,11 +68,15 @@ var tel = struct {
 		"Remote page fetches currently in flight (single-flight leaders)."),
 }
 
-// degradedGauge returns the per-VM degraded flag gauge (1 while the
-// memtap's breaker is open).
+// degradedGauge returns the per-VM degraded gauge. It is graded: 0
+// while the memory-server path is healthy, 1 while a fabric-backed VM
+// is under-replicated (a backend down, hints queued, or tracked ranges
+// below their replica target — reads still succeed via failover), and
+// 2 while the path is unavailable (single-server breaker open, or every
+// fabric backend down).
 func degradedGauge(vmid pagestore.VMID) *telemetry.Gauge {
 	return telemetry.Default.Gauge("oasis_memtap_degraded",
-		"1 while the VM's memory-server path is unavailable (breaker open).",
+		"0 healthy, 1 fabric under-replicated (reads still served), 2 memory-server path unavailable.",
 		telemetry.L("vm", fmt.Sprintf("%04d", vmid)))
 }
 
@@ -150,6 +154,10 @@ type Memtap struct {
 	vmid   pagestore.VMID
 	client PageClient
 
+	// fabric is set when client is a sharded fabric; it powers the graded
+	// degraded gauge and the Underreplicated/Fabric accessors.
+	fabric *shard.Client
+
 	// Fault accounting is atomic: concurrent faults and prefetch streams
 	// update these on the hot path without sharing a lock.
 	faults atomic.Int64
@@ -201,19 +209,15 @@ func NewWithOptions(vmid pagestore.VMID, addr string, secret []byte, opts Option
 	// the aggregate breaker, so the gauge rises only when every lane is
 	// down — exactly when the VM is actually degraded. For a shard fabric
 	// the hook fires per backend pool, so the gauge is recomputed from the
-	// fabric aggregate instead: one dead backend with live replicas is a
-	// failover, not a degraded VM.
+	// fabric's replication health instead: one dead backend with live
+	// replicas is under-replication (level 1), not a degraded VM (level 2).
 	gauge := degradedGauge(vmid)
 	inner := cfg.OnStateChange
 	var fabRef atomic.Pointer[shard.Client]
 	if len(opts.Backends) > 0 {
 		cfg.OnStateChange = func(from, to memserver.BreakerState) {
 			if f := fabRef.Load(); f != nil {
-				if f.BreakerState() == memserver.BreakerOpen {
-					gauge.Set(1)
-				} else {
-					gauge.Set(0)
-				}
+				gauge.Set(float64(fabricHealthLevel(f)))
 			}
 			if inner != nil {
 				inner(from, to)
@@ -222,7 +226,7 @@ func NewWithOptions(vmid pagestore.VMID, addr string, secret []byte, opts Option
 	} else {
 		cfg.OnStateChange = func(from, to memserver.BreakerState) {
 			if to == memserver.BreakerOpen {
-				gauge.Set(1)
+				gauge.Set(2)
 			} else {
 				gauge.Set(0)
 			}
@@ -233,9 +237,9 @@ func NewWithOptions(vmid pagestore.VMID, addr string, secret []byte, opts Option
 	}
 	var client PageClient
 	var err error
+	var fab *shard.Client
 	switch {
 	case len(opts.Backends) > 0:
-		var fab *shard.Client
 		fab, err = shard.Dial(opts.Backends, secret, shard.Config{
 			Replicas: opts.Replicas,
 			Pool: memserver.PoolConfig{
@@ -259,14 +263,55 @@ func NewWithOptions(vmid pagestore.VMID, addr string, secret []byte, opts Option
 		return nil, fmt.Errorf("memtap: vm %04d: %w", vmid, err)
 	}
 	m := newMemtap(vmid, client)
+	if fab != nil {
+		m.bindFabric(fab, gauge)
+	}
 	m.SetPrefetchStreams(opts.PrefetchStreams)
 	return m, nil
 }
 
 // NewWithClient wraps an existing client (used by tests and by agents
-// that pool connections or need custom resilience settings).
+// that pool connections or need custom resilience settings). A
+// *shard.Client is recognized and bound the same way NewWithOptions
+// binds a dialed fabric: the per-VM degraded gauge tracks the fabric's
+// replication health (this replaces any hook previously registered on
+// the fabric with OnHealthChange).
 func NewWithClient(vmid pagestore.VMID, client PageClient) *Memtap {
-	return newMemtap(vmid, client)
+	m := newMemtap(vmid, client)
+	if fab, ok := client.(*shard.Client); ok {
+		m.bindFabric(fab, degradedGauge(vmid))
+	}
+	return m
+}
+
+// bindFabric wires a fabric's health transitions into the memtap's
+// degraded gauge and remembers the fabric for Fabric()/Underreplicated.
+func (m *Memtap) bindFabric(fab *shard.Client, gauge *telemetry.Gauge) {
+	m.fabric = fab
+	fab.OnHealthChange(func() {
+		gauge.Set(float64(fabricHealthLevel(fab)))
+	})
+	gauge.Set(float64(fabricHealthLevel(fab)))
+}
+
+// fabricHealthLevel grades a fabric for the degraded gauge: 0 healthy,
+// 1 under-replicated (at least one backend down or owing repair/hint
+// replay, or tracked ranges below their replica target — reads still
+// work), 2 total loss (every backend's breaker open; faults cannot be
+// serviced).
+func fabricHealthLevel(f *shard.Client) int {
+	if f.BreakerState() == memserver.BreakerOpen {
+		return 2
+	}
+	if f.UnderreplicatedRanges() > 0 {
+		return 1
+	}
+	for _, b := range f.FabricStatus().Backends {
+		if b.Breaker == "open" || b.NeedsRepair || b.HintQueue > 0 {
+			return 1
+		}
+	}
+	return 0
 }
 
 // SetPrefetchStreams sets how many GetPages batches PrefetchRemaining
@@ -296,6 +341,22 @@ func (m *Memtap) Degraded() bool {
 		return br.BreakerState() == memserver.BreakerOpen
 	}
 	return false
+}
+
+// Underreplicated reports whether the memtap's fabric is serving with
+// reduced redundancy: a backend down or owing hint replay/repair, or
+// tracked ranges below their replica target. Reads still succeed via
+// failover (Degraded stays false), but the VM is one more failure away
+// from losing pages. Always false for non-fabric memtaps.
+func (m *Memtap) Underreplicated() bool {
+	return m.fabric != nil && fabricHealthLevel(m.fabric) >= 1
+}
+
+// Fabric returns the sharded fabric behind this memtap, or nil when it
+// was dialed against a single server. The agent uses it to apply live
+// membership changes (add/remove backend) to per-VM fault paths.
+func (m *Memtap) Fabric() *shard.Client {
+	return m.fabric
 }
 
 // Resilience snapshots the client's retry/reconnect/breaker counters
