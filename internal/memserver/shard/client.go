@@ -133,6 +133,17 @@ type rangeKey struct {
 	rng int64
 }
 
+// imageInfo is one tracked VM image: its allocation and the membership
+// epoch its last full-image write was partitioned under. The epoch lets
+// a membership change tell whether an image that appeared while the
+// change was being prepared still needs catching up (registered on the
+// joiner, its moved ranges marked pending) or already wrote through the
+// new ring.
+type imageInfo struct {
+	alloc units.Bytes
+	epoch uint64
+}
+
 // Client fans memory-server operations out over a consistent-hash ring
 // of backends. It implements the same read surface as a single
 // memserver.ClientPool (memtap.PageClient, staged fetches, breaker
@@ -171,7 +182,7 @@ type Client struct {
 	adminSem chan struct{}
 
 	mu           sync.Mutex
-	images       map[pagestore.VMID]units.Bytes
+	images       map[pagestore.VMID]imageInfo
 	vmLocks      map[pagestore.VMID]*sync.Mutex
 	nextTidx     int
 	transDone    chan struct{} // non-nil while a transition rebalances
@@ -282,7 +293,7 @@ func New(addrs []string, secret []byte, cfg Config) (*Client, error) {
 		onState:  base.OnStateChange,
 		tel:      newShardTel(base.Registry),
 		adminSem: make(chan struct{}, 1),
-		images:   make(map[pagestore.VMID]units.Bytes),
+		images:   make(map[pagestore.VMID]imageInfo),
 		vmLocks:  make(map[pagestore.VMID]*sync.Mutex),
 		pending:  make(map[rangeKey]bool),
 		hints:    make(map[string]*hintLog),
@@ -391,10 +402,15 @@ func (c *Client) probeLoop() {
 			if _, busy := inflight.LoadOrStore(ref.addr, struct{}{}); busy {
 				continue
 			}
-			go func() {
+			// Through c.spawn, not a bare go: Close() must drain
+			// in-flight probes before it shuts the backend pools down.
+			ok := c.spawn(func() {
 				defer inflight.Delete(ref.addr)
 				ref.pool.Stats() //nolint:errcheck // probe: success flips the breaker, failure re-arms it
-			}()
+			})
+			if !ok {
+				inflight.Delete(ref.addr)
+			}
 		}
 	}
 }
@@ -777,8 +793,33 @@ func (c *Client) writeSnapshot(kind writeKind, id pagestore.VMID, alloc units.By
 	lk := c.vmLock(id)
 	lk.Lock()
 	defer lk.Unlock()
+	for {
+		st := c.state.Load()
+		if err := c.writeSnapshotEpoch(st, kind, id, alloc, snapshot, opts); err != nil {
+			return err
+		}
+		if !kind.image() {
+			return nil
+		}
+		// Publish, then validate: record the image (tagged with the
+		// epoch that placed its parts) before re-checking the version,
+		// so a membership change either sees the record in its
+		// post-swap re-diff or we see its new epoch here — never
+		// neither. On a version change the whole fan-out re-runs under
+		// the live ring (PutImage is an idempotent whole-image
+		// replace), so the parts land where the new ring reads them.
+		c.mu.Lock()
+		c.images[id] = imageInfo{alloc: alloc, epoch: st.version}
+		c.mu.Unlock()
+		if c.state.Load().version == st.version {
+			return nil
+		}
+	}
+}
 
-	st := c.state.Load()
+// writeSnapshotEpoch runs one replica-write fan-out against a fixed
+// membership epoch. Caller holds the VM lock.
+func (c *Client) writeSnapshotEpoch(st *epochState, kind writeKind, id pagestore.VMID, alloc units.Bytes, snapshot []byte, opts memserver.PutOptions) error {
 	all := st.allRefs()
 	idxOf := make(map[string]int, len(all))
 	for i, ref := range all {
@@ -848,11 +889,6 @@ func (c *Client) writeSnapshot(kind writeKind, id pagestore.VMID, alloc units.By
 			return fmt.Errorf("shard: %s vm %04d: range %d has no reachable replica (all owners down, writes hinted)",
 				kind, id, rng)
 		}
-	}
-	if kind.image() {
-		c.mu.Lock()
-		c.images[id] = alloc
-		c.mu.Unlock()
 	}
 	return nil
 }

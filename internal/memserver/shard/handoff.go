@@ -31,6 +31,7 @@ import (
 
 // hint is one buffered replica write.
 type hint struct {
+	seq    uint64 // per-log identity, assigned on append
 	kind   writeKind
 	vm     pagestore.VMID
 	alloc  units.Bytes
@@ -42,6 +43,7 @@ type hint struct {
 // hintLog buffers writes for one unreachable backend.
 type hintLog struct {
 	queue       []hint
+	nextSeq     uint64 // identity source for queued hints
 	bytes       int64
 	dirty       map[rangeKey]bool
 	needsRepair bool // rebuild from survivors before replaying
@@ -107,6 +109,8 @@ func (c *Client) appendHintLocked(addr string, hl *hintLog, h hint) {
 		}
 		hl.queue = kept
 	}
+	h.seq = hl.nextSeq
+	hl.nextSeq++
 	hl.queue = append(hl.queue, h)
 	hl.bytes += int64(len(h.part))
 	for _, rng := range h.ranges {
@@ -232,8 +236,8 @@ func (c *Client) recover(addr string) {
 	// flight leaves no hint evidence, only missing data.
 	c.mu.Lock()
 	vms := make(map[pagestore.VMID]units.Bytes, len(c.images))
-	for id, alloc := range c.images {
-		vms[id] = alloc
+	for id, info := range c.images {
+		vms[id] = info.alloc
 	}
 	c.mu.Unlock()
 	for id, alloc := range vms {
@@ -297,15 +301,26 @@ func (c *Client) recover(addr string) {
 			return // leave the queue; retry on next recovery
 		}
 
-		c.hintMu.Lock()
-		if hl := c.hints[addr]; hl != nil && len(hl.queue) > 0 {
-			hl.queue = hl.queue[1:]
-			hl.bytes -= int64(len(h.part))
-			c.tel.hintBytes.Add(-float64(len(h.part)))
-		}
-		c.hintMu.Unlock()
+		c.popReplayed(addr, h)
+	}
+}
+
+// popReplayed removes the just-replayed hint from addr's queue — by
+// identity, not position: a concurrent Delete may have rewritten the
+// queue while the head replayed (dropping every hint for its VM, the
+// head included), so a positional pop would silently discard a
+// different, unreplayed hint and corrupt the byte accounting. If the
+// head is gone its bytes were already subtracted by the rewrite; the
+// pop is skipped.
+func (c *Client) popReplayed(addr string, h hint) {
+	c.hintMu.Lock()
+	if hl := c.hints[addr]; hl != nil && len(hl.queue) > 0 && hl.queue[0].seq == h.seq {
+		hl.queue = hl.queue[1:]
+		hl.bytes -= int64(len(h.part))
+		c.tel.hintBytes.Add(-float64(len(h.part)))
 		c.tel.hintsReplayed.Inc()
 	}
+	c.hintMu.Unlock()
 }
 
 // replayOne applies one buffered write to the rejoined backend.
@@ -329,11 +344,15 @@ func (c *Client) replayOne(ref *backendRef, h hint) error {
 	if err != nil && h.kind.diff() && isUnknownVM(err) {
 		// The backend lost the VM after all: escalate to repair. The
 		// hint is consumed — the repair copies fresher bytes anyway.
+		// The caller (recover's replay loop) already holds this VM's
+		// lock, so the locked variant is mandatory: repairVM would
+		// re-acquire the non-reentrant lock and wedge the recovery
+		// goroutine forever.
 		c.mu.Lock()
-		alloc, tracked := c.images[h.vm]
+		info, tracked := c.images[h.vm]
 		c.mu.Unlock()
 		if tracked {
-			if rerr := c.repairVM(c.state.Load(), ref, h.vm, alloc); rerr == nil {
+			if rerr := c.repairVMLocked(c.state.Load(), ref, h.vm, info.alloc); rerr == nil {
 				return nil
 			}
 		}
@@ -376,12 +395,17 @@ func (c *Client) hintLogClean(addr string) bool {
 // ring, and the previous one mid-transition) from a clean other owner,
 // assemble a fresh image, and PutImage it — an atomic whole-image
 // replace, which is the only write that also *clears* stale non-zero
-// pages (diffs elide zeroes). Caller need not hold the VM lock.
+// pages (diffs elide zeroes). The caller must NOT hold the VM lock;
+// callers that already do (the replay path) use repairVMLocked.
 func (c *Client) repairVM(st *epochState, ref *backendRef, id pagestore.VMID, alloc units.Bytes) error {
 	lk := c.vmLock(id)
 	lk.Lock()
 	defer lk.Unlock()
+	return c.repairVMLocked(st, ref, id, alloc)
+}
 
+// repairVMLocked is repairVM's body; the caller holds the VM lock.
+func (c *Client) repairVMLocked(st *epochState, ref *backendRef, id pagestore.VMID, alloc units.Bytes) error {
 	im := pagestore.NewImage(alloc)
 	pages := alloc.Pages()
 	rp := st.ring.RangePages()

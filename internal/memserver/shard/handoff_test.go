@@ -1,0 +1,210 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"oasis/internal/memserver"
+	"oasis/internal/pagestore"
+)
+
+// TestReplayEscalatesToRepairUnderVMLock pins the replay escalation
+// path's locking convention: recover's replay loop holds the VM lock
+// while replayOne runs, and a diff replay that hits unknown-vm
+// escalates to repair from inside that critical section. The repair
+// must therefore run lock-free (repairVMLocked) — re-acquiring the
+// non-reentrant VM lock would wedge the recovery goroutine forever and
+// block every later write of the VM.
+func TestReplayEscalatesToRepairUnderVMLock(t *testing.T) {
+	const vmid = pagestore.VMID(91)
+	im := testImage(t, 21, 64)
+	snap, _, err := pagestore.EncodeAll(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFabric(t, 3, elasticConfig())
+	if err := f.client.PutImage(vmid, im.Alloc(), snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Backend 0 silently loses the VM (a restart-empty crash looks the
+	// same from the client): the diff replay below answers unknown-vm.
+	f.servers[0].Store().Delete(vmid)
+
+	// A queued diff for the lost VM, replayed exactly as recover does
+	// it: with the VM lock held across replayOne.
+	diff, err := pagestore.EncodePages(im, []pagestore.PFN{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := f.client.state.Load().refByAddr(f.addrs[0])
+	if ref == nil {
+		t.Fatalf("backend %s not in the epoch", f.addrs[0])
+	}
+	h := hint{kind: wDiff, vm: vmid, part: diff}
+
+	done := make(chan error, 1)
+	go func() {
+		lk := f.client.vmLock(vmid)
+		lk.Lock()
+		defer lk.Unlock()
+		done <- f.client.replayOne(ref, h)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("replay escalation to repair: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("replayOne deadlocked escalating to repair while holding the VM lock")
+	}
+
+	// The escalated repair actually rebuilt backend 0's partition.
+	ring := f.client.Ring()
+	direct, err := memserver.Dial(f.addrs[0], testSecret, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	checked := 0
+	for pfn := pagestore.PFN(0); int64(pfn) < im.NumPages(); pfn++ {
+		if !ownsRange(ring, f.addrs[0], vmid, pfn) {
+			continue
+		}
+		checked++
+		got, err := direct.GetPage(vmid, pfn)
+		if err != nil {
+			t.Fatalf("repaired backend cannot serve owned pfn %d: %v", pfn, err)
+		}
+		want, err := im.Read(pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("repaired backend serves wrong bytes for pfn %d", pfn)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("backend 0 owns nothing; test proves nothing")
+	}
+}
+
+// TestHintPopByIdentity pins the replay pop against the queue-rewrite
+// race: a Delete enqueued while the head hint replays filters the whole
+// queue (dropping the head), so a positional pop would discard a
+// different, unreplayed hint — stale ranges would later serve reads as
+// clean. The pop must match the replayed hint by identity and become a
+// no-op when the head is gone.
+func TestHintPopByIdentity(t *testing.T) {
+	cfg := Config{Replicas: 1, ProbeInterval: time.Hour}
+	c, err := New([]string{"127.0.0.1:1"}, testSecret, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr := "127.0.0.1:1"
+	const vmA, vmB = pagestore.VMID(1), pagestore.VMID(2)
+	partA := []byte{1, 2, 3}
+	partB := []byte{4, 5, 6, 7}
+	c.addHint(addr, hint{kind: wDiff, vm: vmA, part: partA}, []int64{0}, false)
+	c.addHint(addr, hint{kind: wDiff, vm: vmB, part: partB}, []int64{1}, false)
+
+	// The replay loop reads the head (vmA's diff) and replays it
+	// outside hintMu...
+	c.hintMu.Lock()
+	head := c.hints[addr].queue[0]
+	c.hintMu.Unlock()
+
+	// ...a concurrent Delete of vmA rewrites the queue meanwhile,
+	// dropping the head being replayed...
+	c.hintMu.Lock()
+	c.appendHintLocked(addr, c.hints[addr], hint{kind: wDelete, vm: vmA})
+	c.hintMu.Unlock()
+
+	// ...so the pop after the replay must leave vmB's hint alone.
+	c.popReplayed(addr, head)
+
+	c.hintMu.Lock()
+	defer c.hintMu.Unlock()
+	hl := c.hints[addr]
+	if len(hl.queue) != 2 || hl.queue[0].vm != vmB || hl.queue[0].kind != wDiff || hl.queue[1].kind != wDelete {
+		t.Fatalf("queue after identity pop = %+v, want [vmB diff, vmA delete]", hl.queue)
+	}
+	if hl.bytes != int64(len(partB)) {
+		t.Fatalf("hint bytes after identity pop = %d, want %d", hl.bytes, len(partB))
+	}
+}
+
+// TestElasticAddBackendConcurrentUpload races a fresh image upload
+// against an AddBackend: whichever epoch the upload's fan-out lands on,
+// the VM must end up registered on the joiner, fully readable, and
+// byte-identical on the newcomer's owned ranges (the prepare-window
+// catch-up plus writeSnapshot's publish-then-validate retry close the
+// window from both sides).
+func TestElasticAddBackendConcurrentUpload(t *testing.T) {
+	const seeded, racing = pagestore.VMID(92), pagestore.VMID(93)
+	seedIm := testImage(t, 22, 64)
+	seedSnap, _, err := pagestore.EncodeAll(seedIm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := testImage(t, 23, 128)
+	snap, _, err := pagestore.EncodeAll(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFabric(t, 3, elasticConfig())
+	// A seeded VM gives the membership change registration work in its
+	// prepare window, widening the race with the concurrent upload.
+	if err := f.client.PutImage(seeded, seedIm.Alloc(), seedSnap); err != nil {
+		t.Fatal(err)
+	}
+
+	newAddr := f.addServer(t)
+	errCh := make(chan error, 1)
+	go func() { errCh <- f.client.PutImage(racing, im.Alloc(), snap) }()
+	if err := f.client.AddBackend(newAddr); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("upload racing the membership change: %v", err)
+	}
+	if err := f.client.WaitRebalance(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "under-replication to clear", func() bool {
+		return f.client.UnderreplicatedRanges() == 0
+	})
+
+	want, _, err := pagestore.EncodeAll(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readBack(t, f.client, racing, im); !bytes.Equal(got, want) {
+		t.Fatal("read-back of the racing upload diverges after the add settles")
+	}
+	// The newcomer itself holds the racing VM's owned ranges.
+	ring := f.client.Ring()
+	direct, err := memserver.Dial(newAddr, testSecret, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	for pfn := pagestore.PFN(0); int64(pfn) < im.NumPages(); pfn++ {
+		if !ownsRange(ring, newAddr, racing, pfn) {
+			continue
+		}
+		got, err := direct.GetPage(racing, pfn)
+		if err != nil {
+			t.Fatalf("newcomer cannot serve owned pfn %d of the racing VM: %v", pfn, err)
+		}
+		wantPage, err := im.Read(pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantPage) {
+			t.Fatalf("newcomer serves wrong bytes for racing VM pfn %d", pfn)
+		}
+	}
+}

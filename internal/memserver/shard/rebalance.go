@@ -81,8 +81,8 @@ func (c *Client) changeMembership(addr string, add bool) error {
 	// new ring directly and need no migration.
 	c.mu.Lock()
 	images := make(map[pagestore.VMID]units.Bytes, len(c.images))
-	for id, alloc := range c.images {
-		images[id] = alloc
+	for id, info := range c.images {
+		images[id] = info.alloc
 	}
 	c.mu.Unlock()
 
@@ -149,6 +149,18 @@ func (c *Client) changeMembership(addr string, add bool) error {
 	c.tel.rebalances.Inc()
 	c.refreshHealth()
 
+	// Catch up images that appeared during the prepare window. An
+	// upload that completed against the old epoch between the snapshot
+	// above and the swap is neither registered on a joining backend nor
+	// covered by the moved-range marks, so post-swap reads of its moved
+	// ranges would hit the newcomer empty-handed. Any such image is in
+	// c.images by now or its writer will observe the new version and
+	// re-run the fan-out itself (writeSnapshot publishes the record
+	// before validating the epoch), so a re-diff here closes the window
+	// from both sides. Runs before the rebalancer spawns so the new
+	// pending marks are in its first sweep.
+	c.catchUpLateImages(st.ring, next, images, joined)
+
 	if !c.spawn(func() { c.runRebalance(next, done) }) {
 		// Client closed mid-change: settle synchronously so the epoch is
 		// at least consistent.
@@ -164,6 +176,12 @@ func (c *Client) registerEmpty(ref *backendRef, id pagestore.VMID, alloc units.B
 	lk := c.vmLock(id)
 	lk.Lock()
 	defer lk.Unlock()
+	return c.registerEmptyLocked(ref, id, alloc)
+}
+
+// registerEmptyLocked is registerEmpty's body; the caller holds the VM
+// lock.
+func (c *Client) registerEmptyLocked(ref *backendRef, id pagestore.VMID, alloc units.Bytes) error {
 	c.mu.Lock()
 	_, still := c.images[id]
 	c.mu.Unlock()
@@ -175,6 +193,57 @@ func (c *Client) registerEmpty(ref *backendRef, id pagestore.VMID, alloc units.B
 		return err
 	}
 	return ref.pool.PutImage(id, alloc, enc)
+}
+
+// catchUpLateImages brings images uploaded during a membership change's
+// prepare window into the transition: any tracked image that is not in
+// the prepare-time snapshot and whose last fan-out ran under the old
+// epoch gets registered on the joining backend and its moved ranges
+// marked pending, exactly as the snapshot-time images were before the
+// swap. The per-VM lock serializes against the uploader: once it is
+// held, the image's epoch tag is settled — a writer that recorded an
+// old tag after this pass re-checks the version itself and re-runs its
+// fan-out (writeSnapshot's publish-then-validate), so no image escapes
+// both passes.
+func (c *Client) catchUpLateImages(oldRing *Ring, next *epochState, known map[pagestore.VMID]units.Bytes, joined *backendRef) {
+	c.mu.Lock()
+	late := make(map[pagestore.VMID]units.Bytes)
+	for id, info := range c.images {
+		if _, ok := known[id]; ok || info.epoch >= next.version {
+			continue
+		}
+		late[id] = info.alloc
+	}
+	c.mu.Unlock()
+	for id, alloc := range late {
+		lk := c.vmLock(id)
+		lk.Lock()
+		// Re-check under the VM lock: the uploader may have re-run its
+		// fan-out under the new epoch (or deleted the VM) meanwhile.
+		c.mu.Lock()
+		info, still := c.images[id]
+		c.mu.Unlock()
+		if !still || info.epoch >= next.version {
+			lk.Unlock()
+			continue
+		}
+		if joined != nil {
+			if err := c.registerEmptyLocked(joined, id, alloc); err != nil {
+				// The new epoch is already live, so there is nothing to
+				// unwind; arm a repair instead — the newcomer rebuilds
+				// this VM from the survivors once reachable, and the
+				// pending marks below keep its reads on the old owners
+				// until then.
+				c.markLost(joined.addr)
+			}
+		}
+		c.pendMu.Lock()
+		for _, k := range movedRanges(oldRing, next.ring, map[pagestore.VMID]units.Bytes{id: alloc}) {
+			c.pending[k] = true
+		}
+		c.pendMu.Unlock()
+		lk.Unlock()
+	}
 }
 
 // movedRanges lists every (vm, range) whose replica set differs between
@@ -288,8 +357,9 @@ func (c *Client) migrateRange(st *epochState, k rangeKey) error {
 		return nil
 	}
 	c.mu.Lock()
-	alloc, tracked := c.images[k.vm]
+	info, tracked := c.images[k.vm]
 	c.mu.Unlock()
+	alloc := info.alloc
 	if !tracked {
 		// Deleted mid-transition; nothing to move.
 		c.clearPending(k)
@@ -491,8 +561,8 @@ func (c *Client) computeUnderreplicated() int {
 	st := c.state.Load()
 	c.mu.Lock()
 	images := make(map[pagestore.VMID]units.Bytes, len(c.images))
-	for id, alloc := range c.images {
-		images[id] = alloc
+	for id, info := range c.images {
+		images[id] = info.alloc
 	}
 	c.mu.Unlock()
 	rp := st.ring.RangePages()
