@@ -81,6 +81,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (modeled speedup %.2fx)\n", *jsonOut, speedup)
+		// Benchmarks that embed a measured acceptance gate decide the exit
+		// status: CI runs the bench and fails the build when the measured
+		// comparison regresses past the noise floor.
+		if g, ok := bench.(interface{ GateResult() experiments.Gate }); ok {
+			gate := g.GateResult()
+			fmt.Printf("measured gate (%s): ratio %.3f vs floor %.2f\n",
+				gate.Comparison, gate.Ratio, gate.NoiseFloor)
+			if !gate.Pass {
+				fmt.Fprintln(os.Stderr, "measured gate FAILED")
+				os.Exit(1)
+			}
+		}
 		return
 	}
 

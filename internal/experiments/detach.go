@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"oasis/internal/memserver"
 	"oasis/internal/migration"
@@ -28,9 +27,10 @@ type DetachModel struct {
 	Streamed4GiBSec     float64 `json:"detach_4gib_streamed_sec"`
 }
 
-// DetachMeasured is one measured loopback run: a real memory server, the
-// image encoded (serial or sharded) and uploaded (PutImage or chunked
-// streams), the server-side result verified byte-identical.
+// DetachMeasured is one measured loopback transport: a real memory
+// server, the image encoded (serial or sharded) and uploaded (PutImage
+// or chunked streams) best-of-benchRuns, the server-side result verified
+// byte-identical.
 type DetachMeasured struct {
 	Transport         string  `json:"transport"`
 	UploadStreams     int     `json:"upload_streams"`
@@ -42,15 +42,22 @@ type DetachMeasured struct {
 
 // DetachBench is the full benchmark result; oasis-bench -json with
 // -experiment detach writes it as BENCH_detach.json. The modeled section
-// is deterministic and is what the acceptance gate (streamed >= 1.8x
-// serial on GigE) reads; the measured section records a loopback run on
-// the build machine and varies with hardware.
+// is the deterministic GigE/SAS calibration; the measured section is a
+// best-of-N loopback run on the build machine, and MeasuredGate is the
+// acceptance comparison the tests and CI assert: streamed upload
+// throughput must be at least measuredNoiseFloor x serial (see PERFORMANCE.md).
 type DetachBench struct {
-	Experiment string           `json:"experiment"`
-	Model      DetachModel      `json:"model"`
-	Measured   []DetachMeasured `json:"measured_loopback"`
-	Note       string           `json:"note"`
+	Experiment string `json:"experiment"`
+	BenchMeta
+	Model        DetachModel      `json:"model"`
+	Measured     []DetachMeasured `json:"measured_loopback"`
+	MeasuredGate Gate             `json:"measured_gate"`
+	Note         string           `json:"note"`
 }
+
+// GateResult returns the measured acceptance gate (for oasis-bench's
+// exit status).
+func (b DetachBench) GateResult() Gate { return b.MeasuredGate }
 
 // detachStreams is the stream count the benchmark compares against
 // serial — the DefaultPoolSize the agent side uses.
@@ -69,6 +76,7 @@ func Detach(opt Option) (DetachBench, error) {
 
 	out := DetachBench{
 		Experiment: "detach",
+		BenchMeta:  benchMeta(),
 		Model: DetachModel{
 			Network:             "SAS link to the host's memory server (§4.3 testbed)",
 			UploadStreams:       detachStreams,
@@ -79,30 +87,28 @@ func Detach(opt Option) (DetachBench, error) {
 			Serial4GiBSec:       image / serialPps,
 			Streamed4GiBSec:     image / streamedPps,
 		},
-		Note: "model is deterministic (calibrated SAS); measured_loopback is one run on the build machine",
+		Note: fmt.Sprintf("model is deterministic (calibrated SAS); measured_loopback is best-of-%d on the build machine", benchRuns),
 	}
 
-	for _, c := range []struct {
-		name    string
-		streams int
-	}{
-		{"serial", 1},
-		{"streamed", detachStreams},
-	} {
-		meas, err := measureDetach(opt.Seed, c.name, c.streams)
-		if err != nil {
-			return DetachBench{}, err
-		}
-		out.Measured = append(out.Measured, meas)
+	measured, err := measureDetach(opt.Seed)
+	if err != nil {
+		return DetachBench{}, err
 	}
+	out.Measured = measured
+	out.MeasuredGate = measuredGate("upload_pages_per_sec", "streamed", "serial",
+		measured[1].UploadPagesPerSec, measured[0].UploadPagesPerSec)
 	return out, nil
 }
 
-// measureDetach stands up a loopback memory server, encodes a seeded
-// 32 MiB image of incompressible pages (serial or sharded across streams
-// workers), uploads it (PutImage or chunked streams over a pool), and
-// checks the server-side image decodes back to the serial encoding.
-func measureDetach(seed uint64, name string, streams int) (DetachMeasured, error) {
+// measureDetach stands up one loopback memory server and runs both
+// transports against the same seeded 32 MiB image of incompressible
+// pages: serial (one PutImage over one warmed connection) and streamed
+// (sharded encode, chunked upload over a warmed pool). Encode and upload
+// are each best-of-benchRuns, and each transport's server-side result is
+// verified byte-identical to the source. Sharing one process and server
+// keeps the serial/streamed ratio honest: both transports see the same
+// heap, the same page cache, and the same background load.
+func measureDetach(seed uint64) ([]DetachMeasured, error) {
 	secret := []byte("oasis-bench")
 	const vmid = pagestore.VMID(4343)
 	alloc := 32 * units.MiB
@@ -110,7 +116,7 @@ func measureDetach(seed uint64, name string, streams int) (DetachMeasured, error
 	srv := memserver.NewServer(secret, nil)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
-		return DetachMeasured{}, err
+		return nil, err
 	}
 	defer srv.Close()
 
@@ -127,82 +133,95 @@ func measureDetach(seed uint64, name string, streams int) (DetachMeasured, error
 			binary.LittleEndian.PutUint64(page[i:], r.Uint64())
 		}
 		if err := im.Write(pfn, page); err != nil {
-			return DetachMeasured{}, err
+			return nil, err
 		}
-	}
-
-	t0 := time.Now()
-	snap, pages, err := pagestore.EncodeAllParallel(im, streams)
-	if err != nil {
-		return DetachMeasured{}, err
-	}
-	encodeMs := float64(time.Since(t0).Microseconds()) / 1e3
-
-	// Dial (and warm) the transport before starting the clock: the upload
-	// number compares pipelines, not TCP/auth handshakes.
-	upload := func() error { return nil }
-	if streams <= 1 {
-		client, err := memserver.Dial(addr.String(), secret, 0)
-		if err != nil {
-			return DetachMeasured{}, err
-		}
-		defer client.Close()
-		if _, err := client.Stats(); err != nil {
-			return DetachMeasured{}, err
-		}
-		upload = func() error { return client.PutImage(vmid, alloc, snap) }
-	} else {
-		pool, err := memserver.DialPool(addr.String(), secret, memserver.PoolConfig{Size: streams})
-		if err != nil {
-			return DetachMeasured{}, err
-		}
-		defer pool.Close()
-		// Lanes dial lazily; touch them all concurrently (the VM does not
-		// exist yet, the refusal is expected) so every lane is connected.
-		var wg sync.WaitGroup
-		for i := 0; i < streams; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				pool.GetPage(vmid, 0) //nolint:errcheck // warm-up only
-			}()
-		}
-		wg.Wait()
-		upload = func() error {
-			return pool.StreamImage(vmid, alloc, snap, memserver.PutOptions{Streams: streams})
-		}
-	}
-	t0 = time.Now()
-	if err := upload(); err != nil {
-		return DetachMeasured{}, err
-	}
-	uploadSec := time.Since(t0).Seconds()
-
-	// Both paths must leave the server holding the same image.
-	got, err := srv.Store().Get(vmid)
-	if err != nil {
-		return DetachMeasured{}, fmt.Errorf("%s: image missing after upload: %w", name, err)
-	}
-	canon, _, err := pagestore.EncodeAll(got)
-	if err != nil {
-		return DetachMeasured{}, err
 	}
 	want, _, err := pagestore.EncodeAll(im)
 	if err != nil {
-		return DetachMeasured{}, err
-	}
-	if string(canon) != string(want) {
-		return DetachMeasured{}, fmt.Errorf("%s: server-side image diverges from the source", name)
+		return nil, err
 	}
 
-	return DetachMeasured{
-		Transport:         name,
-		UploadStreams:     streams,
-		EncodedBytes:      len(snap),
-		EncodeMillis:      encodeMs,
-		UploadMillis:      uploadSec * 1e3,
-		UploadPagesPerSec: float64(pages) / uploadSec,
-	}, nil
+	// Dial (and warm) both transports before any clock starts: the upload
+	// numbers compare pipelines, not TCP/auth handshakes.
+	client, err := memserver.Dial(addr.String(), secret, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	if _, err := client.Stats(); err != nil {
+		return nil, err
+	}
+	pool, err := memserver.DialPool(addr.String(), secret, memserver.PoolConfig{Size: detachStreams})
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+	// Lanes dial lazily; touch them all concurrently (the VM does not
+	// exist yet, the refusal is expected) so every lane is connected.
+	var wg sync.WaitGroup
+	for i := 0; i < detachStreams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.GetPage(vmid, 0) //nolint:errcheck // warm-up only
+		}()
+	}
+	wg.Wait()
+
+	var out []DetachMeasured
+	for _, c := range []struct {
+		name    string
+		streams int
+	}{
+		{"serial", 1},
+		{"streamed", detachStreams},
+	} {
+		var (
+			snap  []byte
+			pages int
+		)
+		encodeBest, err := bestOf(func() error {
+			snap, pages, err = pagestore.EncodeAllParallel(im, c.streams)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		upload := func() error { return client.PutImage(vmid, alloc, snap) }
+		if c.streams > 1 {
+			upload = func() error {
+				return pool.StreamImage(vmid, alloc, snap, memserver.PutOptions{Streams: c.streams})
+			}
+		}
+		uploadBest, err := bestOf(upload)
+		if err != nil {
+			return nil, err
+		}
+
+		// Both paths must leave the server holding the same image.
+		got, err := srv.Store().Get(vmid)
+		if err != nil {
+			return nil, fmt.Errorf("%s: image missing after upload: %w", c.name, err)
+		}
+		canon, _, err := pagestore.EncodeAll(got)
+		if err != nil {
+			return nil, err
+		}
+		if string(canon) != string(want) {
+			return nil, fmt.Errorf("%s: server-side image diverges from the source", c.name)
+		}
+
+		out = append(out, DetachMeasured{
+			Transport:         c.name,
+			UploadStreams:     c.streams,
+			EncodedBytes:      len(snap),
+			EncodeMillis:      float64(encodeBest.Microseconds()) / 1e3,
+			UploadMillis:      float64(uploadBest.Microseconds()) / 1e3,
+			UploadPagesPerSec: float64(pages) / uploadBest.Seconds(),
+		})
+	}
+	return out, nil
 }
 
 // DetachReport renders the benchmark as a plain-text experiment for
@@ -220,12 +239,14 @@ func DetachReport(opt Option) Report {
 	fmt.Fprintf(&b, "%-24s %16.0f %15.1fs\n",
 		fmt.Sprintf("streamed (%d streams)", r.Model.UploadStreams), r.Model.StreamedPagesPerSec, r.Model.Streamed4GiBSec)
 	fmt.Fprintf(&b, "modeled speedup: %.2fx\n", r.Model.Speedup)
-	fmt.Fprintf(&b, "measured on loopback (32 MiB incompressible image):\n")
+	fmt.Fprintf(&b, "measured on loopback (32 MiB incompressible image, best of %d):\n", r.Runs)
 	fmt.Fprintf(&b, "%-24s %12s %12s %16s\n", "pipeline", "encode", "upload", "upload pg/s")
 	for _, meas := range r.Measured {
 		fmt.Fprintf(&b, "%-24s %10.1fms %10.1fms %16.0f\n",
 			fmt.Sprintf("%s (%ds)", meas.Transport, meas.UploadStreams),
 			meas.EncodeMillis, meas.UploadMillis, meas.UploadPagesPerSec)
 	}
+	fmt.Fprintf(&b, "measured gate (%s): ratio %.3f vs floor %.2f: %s\n",
+		r.MeasuredGate.Comparison, r.MeasuredGate.Ratio, r.MeasuredGate.NoiseFloor, gateWord(r.MeasuredGate))
 	return Report{ID: "detach", Title: "Parallel detach-pipeline upload benchmark", Text: b.String()}
 }

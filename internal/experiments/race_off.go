@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// Measured throughput gates are skipped under the detector: instrumented
+// code is several times slower in ways that differ per code path, so a
+// serial-vs-parallel comparison under race measures the instrumentation,
+// not the transports.
+const raceEnabled = false

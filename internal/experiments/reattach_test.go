@@ -2,14 +2,24 @@ package experiments
 
 import "testing"
 
-// TestReattachBenchAcceptance pins the benchmark's gate: on the modeled
-// GigE testbed the pooled transport must move at least 2x the serial
-// pages/sec, and the measured loopback runs must both fully convert the
-// same VM.
+// TestReattachBenchAcceptance pins the benchmark's gates: on the
+// modeled GigE testbed the pooled transport must move at least 2x the
+// serial pages/sec; the measured loopback runs must both fully convert
+// the same VM, and the pooled transport must reach at least measuredNoiseFloor x the
+// serial prefetch throughput (the noise floor; see PERFORMANCE.md).
 func TestReattachBenchAcceptance(t *testing.T) {
 	b, err := Reattach(DefaultOption())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if b.SchemaVersion != BenchSchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", b.SchemaVersion, BenchSchemaVersion)
+	}
+	if b.GitSHA == "" {
+		t.Fatal("git_sha empty (want a hash or \"unknown\")")
+	}
+	if b.Runs != benchRuns {
+		t.Fatalf("runs_per_transport = %d, want %d", b.Runs, benchRuns)
 	}
 	if b.Model.Speedup < 2 {
 		t.Fatalf("modeled pooled/serial speedup = %.2fx, want >= 2x", b.Model.Speedup)
@@ -37,5 +47,21 @@ func TestReattachBenchAcceptance(t *testing.T) {
 		if meas.PrefetchPagesPerSec <= 0 {
 			t.Errorf("%s: no prefetch throughput measured", meas.Transport)
 		}
+	}
+
+	g := b.MeasuredGate
+	if g.Metric != "prefetch_pages_per_sec" || g.NoiseFloor != measuredNoiseFloor {
+		t.Fatalf("gate misconfigured: %+v", g)
+	}
+	wantRatio := pooled.PrefetchPagesPerSec / serial.PrefetchPagesPerSec
+	if g.Ratio != wantRatio {
+		t.Fatalf("gate ratio %.4f does not match measured %.4f", g.Ratio, wantRatio)
+	}
+	if raceEnabled {
+		t.Skip("measured throughput gate is meaningless under the race detector")
+	}
+	if !g.Pass {
+		t.Fatalf("measured gate failed: pooled %.0f pg/s vs serial %.0f pg/s (ratio %.3f < %.2f)",
+			pooled.PrefetchPagesPerSec, serial.PrefetchPagesPerSec, g.Ratio, g.NoiseFloor)
 	}
 }

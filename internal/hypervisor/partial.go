@@ -2,6 +2,7 @@ package hypervisor
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -115,6 +116,11 @@ func (vm *PartialVM) Touch(pfn pagestore.PFN) (faulted bool, err error) {
 	if err != nil {
 		return true, fmt.Errorf("hypervisor: vm %04d: fetch pfn %d: %w", vm.desc.VMID, pfn, err)
 	}
+	if pagestore.IsSharedZero(page) {
+		// The pager handed back the decoder's shared zero page: install
+		// the elided form instead of scanning and copying 4 KiB of zeros.
+		page = nil
+	}
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	if vm.isPresent(pfn) {
@@ -174,16 +180,41 @@ func (vm *PartialVM) Install(pfn pagestore.PFN, data []byte) (bool, error) {
 // them if max <= 0) — the work list for a prefetcher converting the
 // partial VM to a full one (§4.4.4).
 func (vm *PartialVM) AbsentPages(max int) []pagestore.PFN {
+	return vm.AbsentPagesFrom(0, max)
+}
+
+// AbsentPagesFrom returns up to max absent PFNs >= from in ascending
+// order (all of them if max <= 0). The scan walks the presence bitmap a
+// word at a time, skipping fully-present 64-page runs without touching
+// individual bits, so prefetchers restarting the scan near a fault
+// hint pay for the absent pages they find, not for the populated region
+// they skip.
+func (vm *PartialVM) AbsentPagesFrom(from pagestore.PFN, max int) []pagestore.PFN {
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
-	var out []pagestore.PFN
 	npages := vm.desc.Alloc.Pages()
-	for pfn := pagestore.PFN(0); int64(pfn) < npages; pfn++ {
-		if !vm.isPresent(pfn) {
+	if int64(from) >= npages {
+		return nil
+	}
+	var out []pagestore.PFN
+	w := int(from / 64)
+	low := uint(from % 64)
+	for ; w < len(vm.present); w++ {
+		absent := ^vm.present[w]
+		if low != 0 {
+			absent &^= (1 << low) - 1
+			low = 0
+		}
+		for absent != 0 {
+			pfn := pagestore.PFN(w*64 + bits.TrailingZeros64(absent))
+			if int64(pfn) >= npages {
+				return out
+			}
 			out = append(out, pfn)
 			if max > 0 && len(out) >= max {
-				break
+				return out
 			}
+			absent &= absent - 1
 		}
 	}
 	return out

@@ -16,6 +16,15 @@
 // This matches the classic LZF encoding, which trades ratio for speed —
 // appropriate for compressing 4 KiB pages on the migration path where CPU
 // time competes with SAS bandwidth.
+//
+// CompressDict/DecompressDict extend the format with a shared
+// dictionary: the dictionary bytes virtually precede the input, so
+// back-references may reach into them (dict.go). The output framing is
+// unchanged — only both ends must agree on the dictionary, which the
+// pagestore's "OAPD" snapshot format carries in its header. Dictionaries
+// longer than MaxDictLen (the compressor's match window) are truncated
+// to their trailing bytes by both sides. DESIGN.md §13 covers when the
+// detach path reaches for this (-compress-dict).
 package lzf
 
 import (

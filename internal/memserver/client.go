@@ -37,6 +37,21 @@ type Client struct {
 	conn      net.Conn
 	broken    bool
 	opTimeout time.Duration
+
+	// Reusable framing state, guarded by mu. Request frames are laid
+	// out as segments in bufs (bufs[0] is always the 5-byte header
+	// rebuilt per call in hdrArr); small frames coalesce into frame and
+	// go out in one Write, large ones as vectored buffers. opArr holds
+	// the fixed-size request prefix of the current op, so the PutChunk
+	// and GetPage hot paths allocate nothing per call.
+	hdrArr [5]byte
+	opArr  [21]byte
+	frame  []byte
+	bufs   net.Buffers
+
+	// upMAC, when non-nil, signs upload payloads with the negotiated
+	// per-connection session MAC (see proto.go).
+	upMAC *sessionHMAC
 }
 
 // Dial connects and authenticates to the server at addr with the shared
@@ -99,7 +114,10 @@ func (c *Client) authenticate(secret []byte) error {
 	}
 	h := hmac.New(sha256.New, secret)
 	h.Write(nonce)
-	if err := writeFrame(c.conn, msgAuth, h.Sum(nil)); err != nil {
+	// Handshake MAC plus offered capability flags (see proto.go).
+	auth := h.Sum(nil)
+	auth = append(auth, authFlagUploadMAC)
+	if err := writeFrame(c.conn, msgAuth, auth); err != nil {
 		return err
 	}
 	typ, payload, err := readFrame(c.conn)
@@ -112,7 +130,20 @@ func (c *Client) authenticate(secret []byte) error {
 	if typ != msgOK {
 		return errors.New("memserver: unexpected auth reply")
 	}
+	// The msgOK payload echoes the flags the server accepted (empty from
+	// a server that predates capability flags).
+	if len(payload) >= 1 && payload[0]&authFlagUploadMAC != 0 {
+		c.upMAC = sessionMAC(secret, nonce)
+	}
 	return nil
+}
+
+// UploadMACNegotiated reports whether upload payloads on this
+// connection carry the per-chunk session MAC trailer.
+func (c *Client) UploadMACNegotiated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.upMAC != nil
 }
 
 // Close terminates the connection.
@@ -132,17 +163,26 @@ func (c *Client) Close() error {
 func (c *Client) roundTrip(typ byte, payload []byte, wantReply byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.bufs = append(c.bufs[:0], nil, payload)
+	return c.roundTripBufsLocked(typ, wantReply, false)
+}
+
+// roundTripBufsLocked sends the request laid out in c.bufs[1:] (bufs[0]
+// is reserved for the header, rebuilt here) and returns the reply
+// payload. withMAC appends the session MAC trailer over the payload
+// segments when the connection negotiated upload MACs. Callers hold
+// c.mu and must have populated c.bufs with a nil first element.
+func (c *Client) roundTripBufsLocked(typ byte, wantReply byte, withMAC bool) ([]byte, error) {
 	if c.broken {
 		return nil, ErrClientBroken
 	}
-	if c.opTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
-	}
-	if err := writeFrame(c.conn, typ, payload); err != nil {
+	if err := c.writeRequestLocked(typ, withMAC); err != nil {
 		c.markBroken()
 		return nil, err
 	}
-	rtyp, rpayload, err := readFrame(c.conn)
+	// hdrArr is free again once the request is on the wire; reusing it
+	// for the reply header keeps empty-reply round trips allocation-free.
+	rtyp, rpayload, err := readFrameHdr(c.conn, &c.hdrArr)
 	if err != nil {
 		c.markBroken()
 		return nil, err
@@ -160,6 +200,34 @@ func (c *Client) roundTrip(typ byte, payload []byte, wantReply byte) ([]byte, er
 	return rpayload, nil
 }
 
+// writeRequestLocked frames and sends the request laid out in c.bufs[1:]:
+// optional session-MAC trailer, header into hdrArr, then one coalesced
+// Write (or a vectored write past coalesceLimit). It allocates nothing
+// in steady state — the alloc-gated framing tests call it directly.
+// Callers hold c.mu.
+func (c *Client) writeRequestLocked(typ byte, withMAC bool) error {
+	if withMAC && c.upMAC != nil {
+		c.upMAC.h.Reset()
+		for _, s := range c.bufs[1:] {
+			if len(s) > 0 {
+				c.upMAC.h.Write(s)
+			}
+		}
+		c.bufs = append(c.bufs, c.upMAC.h.Sum(c.upMAC.sum[:0]))
+	}
+	total := 0
+	for _, s := range c.bufs[1:] {
+		total += len(s)
+	}
+	binary.BigEndian.PutUint32(c.hdrArr[:4], uint32(total))
+	c.hdrArr[4] = typ
+	c.bufs[0] = c.hdrArr[:5]
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	}
+	return writeFrameBufs(c.conn, &c.frame, &c.bufs)
+}
+
 // GetPage fetches one guest page, decompressing it. The returned slice
 // must not be modified if the page was all zero (a shared buffer).
 func (c *Client) GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
@@ -173,12 +241,14 @@ func (c *Client) GetPage(id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
 // StagedFetcher interface) so a /traces span can attribute fault
 // latency to the network or the decompressor.
 func (c *Client) GetPageStaged(id pagestore.VMID, pfn pagestore.PFN) (page []byte, wire, decompress time.Duration, err error) {
-	req := make([]byte, 12)
-	binary.BigEndian.PutUint32(req, uint32(id))
-	binary.BigEndian.PutUint64(req[4:], uint64(pfn))
+	c.mu.Lock()
+	binary.BigEndian.PutUint32(c.opArr[:], uint32(id))
+	binary.BigEndian.PutUint64(c.opArr[4:], uint64(pfn))
+	c.bufs = append(c.bufs[:0], nil, c.opArr[:12])
 	start := time.Now()
-	reply, err := c.roundTrip(msgGetPage, req, msgPage)
+	reply, err := c.roundTripBufsLocked(msgGetPage, msgPage, false)
 	wire = time.Since(start)
+	c.mu.Unlock()
 	if err != nil {
 		return nil, wire, 0, err
 	}
@@ -211,23 +281,27 @@ func (c *Client) GetPages(id pagestore.VMID, pfns []pagestore.PFN) (map[pagestor
 }
 
 // PutImage uploads a full snapshot as a VM's image, replacing any prior
-// image for that VMID.
+// image for that VMID. The snapshot bytes are sent without an
+// intermediate copy (vectored write past the coalesce limit), with the
+// session MAC trailer when negotiated.
 func (c *Client) PutImage(id pagestore.VMID, alloc units.Bytes, snapshot []byte) error {
-	req := make([]byte, 12, 12+len(snapshot))
-	binary.BigEndian.PutUint32(req, uint32(id))
-	binary.BigEndian.PutUint64(req[4:], uint64(alloc))
-	req = append(req, snapshot...)
-	_, err := c.roundTrip(msgPutImage, req, msgOK)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	binary.BigEndian.PutUint32(c.opArr[:], uint32(id))
+	binary.BigEndian.PutUint64(c.opArr[4:], uint64(alloc))
+	c.bufs = append(c.bufs[:0], nil, c.opArr[:12], snapshot)
+	_, err := c.roundTripBufsLocked(msgPutImage, msgOK, true)
 	return err
 }
 
 // PutDiff applies a differential snapshot to an existing image (§4.3
 // differential upload).
 func (c *Client) PutDiff(id pagestore.VMID, snapshot []byte) error {
-	req := make([]byte, 4, 4+len(snapshot))
-	binary.BigEndian.PutUint32(req, uint32(id))
-	req = append(req, snapshot...)
-	_, err := c.roundTrip(msgPutDiff, req, msgOK)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	binary.BigEndian.PutUint32(c.opArr[:], uint32(id))
+	c.bufs = append(c.bufs[:0], nil, c.opArr[:4], snapshot)
+	_, err := c.roundTripBufsLocked(msgPutDiff, msgOK, true)
 	return err
 }
 
@@ -241,7 +315,22 @@ func (c *Client) PutBegin(id pagestore.VMID, uploadID uint64, kind byte, alloc u
 // PutChunk stages one self-contained snapshot chunk of an open upload.
 // Chunks may arrive in any order and over any connection.
 func (c *Client) PutChunk(id pagestore.VMID, uploadID uint64, seq uint32, chunk []byte) error {
-	_, err := c.roundTrip(msgPutChunk, encodePutChunk(id, uploadID, seq, chunk), msgOK)
+	return c.PutChunkRef(id, uploadID, seq, pagestore.ChunkRef{Body: chunk})
+}
+
+// PutChunkRef stages one chunk described by a pagestore.ChunkRef — the
+// zero-copy form of PutChunk. The chunk's header, dictionary and body
+// segments go straight from the encoded snapshot to the socket
+// (vectored write), framed by reusable client scratch: the hot path
+// performs no allocations and no copies of page bytes.
+func (c *Client) PutChunkRef(id pagestore.VMID, uploadID uint64, seq uint32, chunk pagestore.ChunkRef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	binary.BigEndian.PutUint32(c.opArr[:], uint32(id))
+	binary.BigEndian.PutUint64(c.opArr[4:], uploadID)
+	binary.BigEndian.PutUint32(c.opArr[12:], seq)
+	c.bufs = append(c.bufs[:0], nil, c.opArr[:16], chunk.Pre, chunk.Dict, chunk.Body)
+	_, err := c.roundTripBufsLocked(msgPutChunk, msgOK, true)
 	return err
 }
 

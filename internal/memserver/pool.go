@@ -76,7 +76,7 @@ func NewPool(cfg PoolConfig) *ClientPool {
 		// De-correlate the lanes' backoff jitter so a server restart does
 		// not see N synchronized reconnect storms.
 		lcfg.JitterSeed ^= uint64(lane) * 0x9E3779B97F4A7C15
-		lcfg.OnStateChange = func(from, to BreakerState) { p.laneStateChanged(lane, to) }
+		lcfg.OnStateChange = func(from, to BreakerState) { p.laneStateChanged(lane) }
 		p.lanes[i] = NewResilient(lcfg)
 	}
 	p.tel.size.Set(float64(cfg.Size))
@@ -152,9 +152,18 @@ func (p *ClientPool) do(fn func(*ResilientClient) error) error {
 // laneStateChanged records a lane's breaker transition and recomputes the
 // aggregate state, invoking the pool-level OnStateChange outside the lock
 // when the aggregate moved.
-func (p *ClientPool) laneStateChanged(lane int, to BreakerState) {
+//
+// The lane's CURRENT state is re-read from the lane rather than taken
+// from the callback arguments: breaker callbacks fire outside the lane's
+// mutex, so two rapid transitions (open → half-open → closed) can be
+// delivered out of order, and trusting the callback's "to" would park
+// the cached state at a stale value forever once the lane stops
+// transitioning. Re-reading converges: whichever delivery runs last
+// sees the lane's settled state. (Lock order is p.mu → lane.mu; lane
+// callbacks never run under lane.mu, so there is no inversion.)
+func (p *ClientPool) laneStateChanged(lane int) {
 	p.mu.Lock()
-	p.laneState[lane] = to
+	p.laneState[lane] = p.lanes[lane].BreakerState()
 	agg := p.aggregateLocked()
 	from := p.aggState
 	changed := agg != from

@@ -85,13 +85,25 @@ func TestPoolLeastLoadedDispatch(t *testing.T) {
 	}
 }
 
+// forceLaneState transitions a lane's real breaker and delivers its
+// callback, the same path production transitions take.
+func forceLaneState(p *ClientPool, lane int, s BreakerState) {
+	r := p.lanes[lane]
+	r.mu.Lock()
+	cb := r.setStateLocked(s)
+	r.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
 // TestPoolAvoidsOpenLanes checks that dispatch routes around a lane whose
 // breaker is open while any healthy lane remains.
 func TestPoolAvoidsOpenLanes(t *testing.T) {
 	p := NewPool(PoolConfig{Size: 3, Resilience: ResilientConfig{
 		Dialer: func() (*Client, error) { panic("no dialing in this test") },
 	}})
-	p.laneStateChanged(1, BreakerOpen)
+	forceLaneState(p, 1, BreakerOpen)
 	for i := 0; i < 16; i++ {
 		lane := p.acquire()
 		if lane == 1 {
@@ -101,10 +113,35 @@ func TestPoolAvoidsOpenLanes(t *testing.T) {
 	}
 	// With every breaker open, dispatch must still hand out a lane so the
 	// caller gets the fail-fast (or rides the half-open probe).
-	p.laneStateChanged(0, BreakerOpen)
-	p.laneStateChanged(2, BreakerOpen)
+	forceLaneState(p, 0, BreakerOpen)
+	forceLaneState(p, 2, BreakerOpen)
 	lane := p.acquire()
 	p.release(lane)
+}
+
+// TestPoolLaneStateResyncAfterReorderedCallbacks pins the fix for a
+// breaker-cache desync: lane callbacks fire outside the lane's mutex, so
+// two rapid transitions (e.g. a half-open probe succeeding right after
+// the breaker opened) can be DELIVERED out of order. The pool must
+// converge on the lane's real state, not the callback's argument —
+// otherwise the cached aggregate sticks at "open" forever once the lane
+// settles, and the shard rebalancer counts a healthy backend as down.
+func TestPoolLaneStateResyncAfterReorderedCallbacks(t *testing.T) {
+	p := NewPool(PoolConfig{Size: 1, Resilience: ResilientConfig{
+		Dialer: func() (*Client, error) { panic("no dialing in this test") },
+	}})
+	r := p.lanes[0]
+	r.mu.Lock()
+	cbOpen := r.setStateLocked(BreakerOpen)
+	cbClosed := r.setStateLocked(BreakerClosed)
+	r.mu.Unlock()
+	// Deliver in reverse: the →closed callback lands first, the stale
+	// →open one last. The cache must still settle on the lane's truth.
+	cbClosed()
+	cbOpen()
+	if got := p.BreakerState(); got != BreakerClosed {
+		t.Fatalf("aggregate breaker = %v after reordered callback delivery, want closed", got)
+	}
 }
 
 // TestPoolAggregateBreaker proves the pool degrades only when every lane

@@ -8,10 +8,14 @@
 package memserver
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
+	"net"
 
 	"oasis/internal/pagestore"
 )
@@ -71,6 +75,71 @@ const (
 // allocation the prototype models, while still rejecting absurd counts.
 const maxUploadChunks = 16384
 
+// Amortized upload authentication. The HMAC challenge/response
+// handshake stays exactly as before; a client may additionally offer
+// capability flags in a single byte after the 32-byte handshake MAC,
+// and the server echoes the flags it accepts in the msgOK payload.
+// When both sides accept authFlagUploadMAC, every upload payload
+// (PutImage, PutDiff, PutChunk) carries a 32-byte HMAC-SHA256 trailer
+// over the payload, keyed by a per-connection session key derived from
+// the handshake nonce. The MAC is per-chunk, not per-frame-byte: one
+// SHA-256 pass over megabytes of page data costs ~1 GB/s, amortized to
+// noise, while tying the upload bytes to the authenticated session. A
+// server configured with SetRequireUploadMAC refuses the handshake of
+// any client that does not offer the flag — the downgrade-refusal rule.
+const (
+	authFlagUploadMAC byte = 1 << 0
+
+	// macLen is the upload trailer length (HMAC-SHA256).
+	macLen = sha256.Size
+
+	// sessionKeyInfo domain-separates the session key derivation from
+	// the handshake response (which is HMAC(secret, nonce) alone).
+	sessionKeyInfo = "oasis/frame-auth/v1"
+)
+
+// sessionMAC returns the per-connection upload MAC state: an
+// HMAC-SHA256 keyed by HMAC(secret, sessionKeyInfo || nonce). Both ends
+// derive it from the handshake they just completed; the trailer never
+// exposes the long-lived secret directly.
+func sessionMAC(secret, nonce []byte) *sessionHMAC {
+	kdf := hmac.New(sha256.New, secret)
+	kdf.Write([]byte(sessionKeyInfo))
+	kdf.Write(nonce)
+	return &sessionHMAC{h: hmac.New(sha256.New, kdf.Sum(nil))}
+}
+
+// sessionHMAC wraps the reusable upload-MAC hash with a fixed Sum
+// buffer, so the per-chunk MAC computation allocates nothing.
+type sessionHMAC struct {
+	h   hash.Hash
+	sum [macLen]byte
+}
+
+// compute MACs the concatenation of segs into the reused sum buffer.
+func (m *sessionHMAC) compute(segs ...[]byte) []byte {
+	m.h.Reset()
+	for _, s := range segs {
+		if len(s) > 0 {
+			m.h.Write(s)
+		}
+	}
+	return m.h.Sum(m.sum[:0])
+}
+
+// verify checks a payload whose last macLen bytes are the trailer,
+// returning the payload with the trailer stripped.
+func (m *sessionHMAC) verify(payload []byte) ([]byte, error) {
+	if len(payload) < macLen {
+		return nil, errors.New("upload payload shorter than its MAC trailer")
+	}
+	body := payload[:len(payload)-macLen]
+	if !hmac.Equal(m.compute(body), payload[len(payload)-macLen:]) {
+		return nil, errors.New("upload MAC mismatch")
+	}
+	return body, nil
+}
+
 // writeFrame sends one length-prefixed frame.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	var hdr [5]byte
@@ -87,9 +156,50 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return nil
 }
 
+// coalesceLimit is the frame size up to which writeFrameBufs assembles
+// the header and payload segments into one reused buffer and issues a
+// single Write. Larger frames go out as vectored buffers: on a TCP
+// connection net.Buffers becomes one writev, and on wrapped transports
+// it degrades to a handful of sequential writes — still far fewer
+// syscalls per byte than copying megabytes through a staging buffer.
+const coalesceLimit = 64 << 10
+
+// writeFrameBufs sends one frame already laid out as segments in *bufs.
+// (*bufs)[0] must be the 5-byte header (length covering the rest). The
+// scratch buffer is reused across calls for the coalesce path; page
+// bytes are never copied on the vectored path. bufs is a pointer both
+// because WriteTo consumes the segment slice in place on partial writes
+// and because passing the header by value would make it escape (one
+// hidden allocation per frame — exactly what this path exists to avoid).
+func writeFrameBufs(w io.Writer, scratch *[]byte, bufs *net.Buffers) error {
+	total := 0
+	for _, s := range *bufs {
+		total += len(s)
+	}
+	if total <= coalesceLimit {
+		b := (*scratch)[:0]
+		for _, s := range *bufs {
+			b = append(b, s...)
+		}
+		*scratch = b
+		_, err := w.Write(b)
+		return err
+	}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
 // readFrame reads one frame, enforcing the size ceiling.
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
+	return readFrameHdr(r, &hdr)
+}
+
+// readFrameHdr is readFrame with a caller-owned header array: handing
+// the header to io.ReadFull through the interface makes a stack array
+// escape, so hot paths pass a long-lived one (the client reuses its
+// frame-header scratch) to keep the empty-reply read allocation-free.
+func readFrameHdr(r io.Reader, hdr *[5]byte) (typ byte, payload []byte, err error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
@@ -97,11 +207,51 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("memserver: frame of %d bytes exceeds limit", n)
 	}
+	if n == 0 {
+		return hdr[4], nil, nil
+	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
 	return hdr[4], payload, nil
+}
+
+// readBufCap is the ceiling readFrameReuse keeps a connection's receive
+// buffer at: a buffer grown for one oversized frame (a serial PutImage
+// of a whole image) is released after use instead of pinning memory for
+// the connection's lifetime. Streaming-upload chunks (~4 MiB) stay
+// under it, so the steady-state upload path reads into one long-lived
+// buffer with zero per-frame allocations.
+const readBufCap = 8 << 20
+
+// readFrameReuse is readFrame with a caller-owned receive buffer: the
+// payload is read into *buf when capacity allows, growing (and, past
+// readBufCap, later shrinking) as needed. The returned payload aliases
+// *buf and is valid only until the next call — the server's receive
+// loop guarantees no handler retains it (see putChunk, which either
+// applies chunk bytes on arrival or copies them).
+func readFrameReuse(r io.Reader, hdr *[5]byte, buf *[]byte) (typ byte, payload []byte, err error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:4]))
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("memserver: frame of %d bytes exceeds limit", n)
+	}
+	if n == 0 {
+		return hdr[4], nil, nil
+	}
+	b := *buf
+	if cap(b) < n || (cap(b) > readBufCap && n <= readBufCap) {
+		b = make([]byte, n)
+	}
+	b = b[:n]
+	*buf = b
+	if _, err := io.ReadFull(r, b); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], b, nil
 }
 
 // remoteError is an error reported by the peer.

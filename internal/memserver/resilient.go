@@ -476,6 +476,13 @@ func (r *ResilientClient) PutChunk(id pagestore.VMID, uploadID uint64, seq uint3
 	return r.do("PutChunk", false, func(c *Client) error { return c.PutChunk(id, uploadID, seq, chunk) })
 }
 
+// PutChunkRef stages one chunk from segment references without
+// flattening them into a contiguous buffer (see Client.PutChunkRef);
+// retry semantics are identical to PutChunk.
+func (r *ResilientClient) PutChunkRef(id pagestore.VMID, uploadID uint64, seq uint32, chunk pagestore.ChunkRef) error {
+	return r.do("PutChunk", false, func(c *Client) error { return c.PutChunkRef(id, uploadID, seq, chunk) })
+}
+
 // PutCommit commits a chunked upload with the read retry budget: the
 // server remembers the last committed upload id per VM, so a Commit
 // retried after a lost reply is acknowledged without re-applying.

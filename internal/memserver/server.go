@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -47,6 +48,9 @@ type Server struct {
 
 	// idleTimeout bounds how long serveConn waits for the next frame.
 	idleTimeout time.Duration
+	// requireUploadMAC refuses the handshake of clients that do not
+	// offer per-chunk upload MACs (downgrade refusal; see proto.go).
+	requireUploadMAC bool
 	// wrapConn, when set, wraps every accepted connection — the hook
 	// the fault injector uses to perturb server-side transport.
 	wrapConn func(net.Conn) net.Conn
@@ -116,6 +120,12 @@ func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
 // SetConnWrapper installs a wrapper applied to every accepted
 // connection (fault injection, instrumentation). Call before Listen.
 func (s *Server) SetConnWrapper(wrap func(net.Conn) net.Conn) { s.wrapConn = wrap }
+
+// SetRequireUploadMAC makes the handshake refuse clients that do not
+// offer the per-chunk upload MAC capability, so a stripped-down or
+// downgraded client cannot feed the server unauthenticated image bytes.
+// Call before Listen.
+func (s *Server) SetRequireUploadMAC(on bool) { s.requireUploadMAC = on }
 
 // Store exposes the underlying image store (hosts preload images through
 // it when co-located, as the prototype's SAS path does).
@@ -251,23 +261,25 @@ func (s *Server) serveConn(raw net.Conn) {
 	if s.idleTimeout > 0 {
 		raw.SetReadDeadline(time.Now().Add(s.idleTimeout))
 	}
-	if err := s.authenticate(conn); err != nil {
+	// Per-connection reusable buffers: one goroutine serves a
+	// connection, so the receive buffer, the reply under construction
+	// and the compression scratch all live across frames instead of
+	// being allocated per page (see pagestore.EncodePageAppend) — the
+	// page-serving and chunk-receiving hot paths are allocation-free in
+	// steady state.
+	var scratch connScratch
+	if err := s.authenticate(conn, &scratch); err != nil {
 		s.tel.authFail.Inc()
 		s.logf("memserver: auth failure from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
-	// Per-connection encode buffers for the page-serving hot path: one
-	// goroutine serves a connection, so the reply and compression
-	// scratch can live across frames instead of being allocated per
-	// page (see pagestore.EncodePageAppend).
-	var scratch connScratch
 	for {
 		// Re-arm the idle deadline per frame: an active client may talk
 		// for hours, but a silent one is dropped after idleTimeout.
 		if s.idleTimeout > 0 {
 			raw.SetReadDeadline(time.Now().Add(s.idleTimeout))
 		}
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := readFrameReuse(conn, &scratch.hdr, &scratch.read)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				s.tel.idleDrops.Inc()
@@ -282,13 +294,32 @@ func (s *Server) serveConn(raw net.Conn) {
 	}
 }
 
-// connScratch holds one connection's reusable encode buffers.
+// connScratch holds one connection's reusable buffers and the
+// negotiated per-connection auth state.
 type connScratch struct {
-	reply []byte // outgoing page/batch reply under construction
-	comp  []byte // lzf compression scratch
+	hdr   [5]byte // inbound frame header (stack copies escape via io.ReadFull)
+	read  []byte  // inbound frame payload (reused; handlers must not retain)
+	reply []byte  // outgoing reply frame under construction
+	comp  []byte  // lzf compression scratch
+	upMAC *sessionHMAC
 }
 
-func (s *Server) authenticate(conn net.Conn) error {
+// beginReply starts a reply frame of the given type in the connection's
+// reusable buffer, leaving room for the header.
+func (sc *connScratch) beginReply(typ byte) []byte {
+	return append(sc.reply[:0], 0, 0, 0, 0, typ)
+}
+
+// finishReply patches the frame length and sends the reply in a single
+// write, keeping the buffer for the next frame.
+func (sc *connScratch) finishReply(w io.Writer, out []byte) error {
+	binary.BigEndian.PutUint32(out[:4], uint32(len(out)-5))
+	sc.reply = out
+	_, err := w.Write(out)
+	return err
+}
+
+func (s *Server) authenticate(conn net.Conn, scratch *connScratch) error {
 	var nonce [16]byte
 	if _, err := rand.Read(nonce[:]); err != nil {
 		return err
@@ -296,12 +327,23 @@ func (s *Server) authenticate(conn net.Conn) error {
 	if err := writeFrame(conn, msgChallenge, nonce[:]); err != nil {
 		return err
 	}
-	typ, mac, err := readFrame(conn)
+	typ, payload, err := readFrame(conn)
 	if err != nil {
 		return err
 	}
 	if typ != msgAuth {
 		return errors.New("expected auth frame")
+	}
+	// Payload: 32-byte handshake MAC, optionally followed by one byte of
+	// offered capability flags (see proto.go).
+	if len(payload) < sha256.Size {
+		writeFrame(conn, msgError, []byte("authentication failed"))
+		return errors.New("short auth frame")
+	}
+	mac := payload[:sha256.Size]
+	var offered byte
+	if len(payload) > sha256.Size {
+		offered = payload[sha256.Size]
 	}
 	h := hmac.New(sha256.New, s.secret)
 	h.Write(nonce[:])
@@ -310,7 +352,15 @@ func (s *Server) authenticate(conn net.Conn) error {
 		writeFrame(conn, msgError, []byte("authentication failed"))
 		return errors.New("bad mac")
 	}
-	return writeFrame(conn, msgOK, nil)
+	accepted := offered & authFlagUploadMAC
+	if s.requireUploadMAC && accepted&authFlagUploadMAC == 0 {
+		writeFrame(conn, msgError, []byte("per-chunk upload MAC required"))
+		return errors.New("client refused upload MAC (downgrade refused)")
+	}
+	if accepted&authFlagUploadMAC != 0 {
+		scratch.upMAC = sessionMAC(s.secret, nonce[:])
+	}
+	return writeFrame(conn, msgOK, []byte{accepted})
 }
 
 func (s *Server) handle(conn net.Conn, typ byte, payload []byte, scratch *connScratch) error {
@@ -321,6 +371,18 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte, scratch *connSc
 	fail := func(err error) error {
 		op.errors.Inc()
 		return writeFrame(conn, msgError, []byte(err.Error()))
+	}
+	// Upload payloads carry the session MAC trailer when the handshake
+	// negotiated it: verify and strip before parsing (amortized auth —
+	// one HMAC pass per chunk, not per frame byte on the serving path).
+	switch typ {
+	case msgPutImage, msgPutDiff, msgPutChunk:
+		if scratch.upMAC != nil {
+			var err error
+			if payload, err = scratch.upMAC.verify(payload); err != nil {
+				return fail(err)
+			}
+		}
 	}
 	switch typ {
 	case msgGetPage:
@@ -341,13 +403,15 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte, scratch *connSc
 			return fail(err)
 		}
 		// msgPage's reply body IS the page encoding (u16 token | payload),
-		// built in the connection's reusable buffers.
-		out := scratch.reply[:0]
+		// built straight into the frame under construction in the
+		// connection's reusable buffer and sent with a single write: the
+		// GetPage reply hot path performs no allocations and no copies
+		// beyond the compressor's own output.
+		out := scratch.beginReply(msgPage)
 		out, scratch.comp = pagestore.EncodePageAppend(out, scratch.comp, page)
-		scratch.reply = out
 		s.pagesServed.Add(1)
-		s.bytesServed.Add(int64(len(out)))
-		return writeFrame(conn, msgPage, out)
+		s.bytesServed.Add(int64(len(out) - 5))
+		return scratch.finishReply(conn, out)
 
 	case msgGetPages:
 		if !s.serving.Load() {
@@ -363,7 +427,7 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte, scratch *connSc
 		if err != nil {
 			return fail(err)
 		}
-		out := scratch.reply[:0]
+		out := scratch.beginReply(msgPages)
 		out = binary.BigEndian.AppendUint32(out, uint32(n))
 		for _, pfn := range pfns {
 			page, err := im.Read(pfn)
@@ -372,10 +436,9 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte, scratch *connSc
 			}
 			out, scratch.comp = appendPageEntry(out, pfn, page, scratch.comp)
 		}
-		scratch.reply = out
 		s.pagesServed.Add(int64(n))
-		s.bytesServed.Add(int64(len(out)))
-		return writeFrame(conn, msgPages, out)
+		s.bytesServed.Add(int64(len(out) - 5))
+		return scratch.finishReply(conn, out)
 
 	case msgPutImage:
 		if len(payload) < 12 {

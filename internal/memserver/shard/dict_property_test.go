@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"oasis/internal/memserver"
+	"oasis/internal/pagestore"
+	"oasis/internal/rng"
+	"oasis/internal/units"
+)
+
+// dictImage builds an image dominated by near-template pages (so
+// BuildDict finds a useful dictionary) with explicit zero writes mixed
+// in (so zero-page elision is exercised alongside untouched pages).
+func dictImage(t *testing.T, seed uint64, pages int64) *pagestore.Image {
+	t.Helper()
+	im := pagestore.NewImage(units.Bytes(pages) * units.PageSize)
+	r := rng.New(seed)
+	template := make([]byte, units.PageSize)
+	for i := range template {
+		template[i] = byte(r.Uint64())
+	}
+	page := make([]byte, units.PageSize)
+	for pfn := pagestore.PFN(0); int64(pfn) < pages; pfn++ {
+		switch r.Int63n(5) {
+		case 0: // untouched
+			continue
+		case 1: // dirty-but-zero: elided as a zero token on the wire
+			if err := im.Write(pfn, nil); err != nil {
+				t.Fatal(err)
+			}
+		default: // template mutation: dictionary fodder
+			copy(page, template)
+			for j := 0; j < 12; j++ {
+				page[r.Int63n(int64(len(page)))] = byte(r.Uint64())
+			}
+			if err := im.Write(pfn, page); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return im
+}
+
+// TestShardDictElisionBitIdentical is the dictionary-mode counterpart of
+// TestShardReassemblyMatchesSingleServer: a dict-compressed, zero-elided
+// snapshot pushed through a 3-backend fabric — over both the one-shot
+// partitioned path and the chunked streaming path — reads back to
+// exactly the source image's canonical encoding. It is the property
+// gate for the elision rules: every partition and every chunk carries
+// the dictionary it needs (registered-but-empty owners included), and
+// elided pages come back as genuine zero pages.
+func TestShardDictElisionBitIdentical(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		im := dictImage(t, seed, 256)
+		dict := pagestore.BuildDict(im)
+		if dict == nil {
+			t.Fatalf("seed %d: no dictionary from a template-heavy image", seed)
+		}
+		snap, _, err := pagestore.EncodeAllDict(im, dict, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, _, err := pagestore.EncodeAll(im)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap) >= len(plain) {
+			t.Fatalf("seed %d: dict snapshot (%d B) not smaller than plain (%d B)", seed, len(snap), len(plain))
+		}
+		want := plain // canonical encoding of the source
+
+		const vmid = pagestore.VMID(90)
+		oneshot := newFabric(t, 3, Config{Replicas: 2, RangePages: 8})
+		if err := oneshot.client.PutImage(vmid, im.Alloc(), snap); err != nil {
+			t.Fatalf("seed %d: PutImage: %v", seed, err)
+		}
+		if got := readBack(t, oneshot.client, vmid, im); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: one-shot dict upload diverges from source", seed)
+		}
+
+		streamed := newFabric(t, 3, Config{Replicas: 2, RangePages: 8})
+		err = streamed.client.StreamImage(vmid, im.Alloc(), snap,
+			memserver.PutOptions{Streams: 3, ChunkBytes: 32 << 10})
+		if err != nil {
+			t.Fatalf("seed %d: StreamImage: %v", seed, err)
+		}
+		if got := readBack(t, streamed.client, vmid, im); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: streamed dict upload diverges from source", seed)
+		}
+
+		// An explicitly zeroed page must come back as a true zero page,
+		// not a dictionary artifact.
+		var zeroPFN pagestore.PFN = 0
+		found := false
+		for pfn := pagestore.PFN(0); int64(pfn) < im.NumPages(); pfn++ {
+			p, err := im.Read(pfn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pagestore.IsZeroPage(p) {
+				zeroPFN, found = pfn, true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: no zero page in test image", seed)
+		}
+		p, err := streamed.client.GetPage(vmid, zeroPFN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pagestore.IsZeroPage(p) {
+			t.Fatalf("seed %d: elided page %d not zero after fabric round trip", seed, zeroPFN)
+		}
+	}
+}

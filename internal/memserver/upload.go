@@ -68,7 +68,9 @@ func (p *ClientPool) StreamDiff(id pagestore.VMID, snapshot []byte, opts PutOpti
 
 func (p *ClientPool) streamUpload(id pagestore.VMID, kind byte, alloc units.Bytes, snapshot []byte, opts PutOptions) error {
 	opts = opts.withDefaults()
-	chunks, err := pagestore.SplitSnapshot(snapshot, opts.ChunkBytes)
+	// Chunk references point back into the snapshot buffer — no copies;
+	// the client's vectored send stitches prefix+dict+body on the wire.
+	chunks, err := pagestore.SplitSnapshotRefs(snapshot, opts.ChunkBytes)
 	if err != nil {
 		return fmt.Errorf("memserver: split snapshot: %w", err)
 	}
@@ -93,7 +95,7 @@ func (p *ClientPool) streamUpload(id pagestore.VMID, kind byte, alloc units.Byte
 // chunk gets uploader-level re-issues on top of the per-attempt lane
 // retries: a re-issued chunk lands on a (likely) different lane, and the
 // server treats duplicates as idempotent overwrites.
-func (p *ClientPool) shipChunks(id pagestore.VMID, uploadID uint64, chunks [][]byte, streams int) error {
+func (p *ClientPool) shipChunks(id pagestore.VMID, uploadID uint64, chunks []pagestore.ChunkRef, streams int) error {
 	send := func(seq int) error {
 		p.putTel.inflight.Inc()
 		defer p.putTel.inflight.Dec()
@@ -103,7 +105,7 @@ func (p *ClientPool) shipChunks(id pagestore.VMID, uploadID uint64, chunks [][]b
 				p.putTel.retried.Inc()
 			}
 			err = p.do(func(r *ResilientClient) error {
-				return r.PutChunk(id, uploadID, uint32(seq), chunks[seq])
+				return r.PutChunkRef(id, uploadID, uint32(seq), chunks[seq])
 			})
 			if err == nil {
 				p.putTel.chunks.Inc()

@@ -15,15 +15,20 @@ import (
 // the framing and DESIGN.md §10 for the crash-atomicity argument). The
 // life of an upload:
 //
-//  1. PutBegin opens a staging entry keyed by VMID. The VM's live image
-//     is not touched.
-//  2. PutChunks accumulate self-contained snapshot chunks, keyed by
-//     sequence number, in any order and over any mix of connections.
-//  3. PutCommit checks every chunk 0..n-1 arrived, decodes them in
-//     parallel, and only then makes the result visible: a full image is
-//     built in a private staging image and swapped into the store; a
-//     diff is fully validated (decode + bounds) before the first page is
-//     written to the live image, so application cannot fail half way.
+//  1. PutBegin opens a staging entry keyed by VMID. A full-image upload
+//     also opens a private staging image. The VM's live image is not
+//     touched.
+//  2. PutChunks arrive in any order and over any mix of connections.
+//     Full-image chunks decode straight into the staging image as they
+//     arrive — the decode overlaps the wire transfer of later chunks
+//     and the receive buffer can be reused because nothing retains the
+//     chunk bytes. Diff chunks are copied and held staged (a diff must
+//     not touch the live image before commit).
+//  3. PutCommit waits for in-flight decodes, checks every chunk 0..n-1
+//     arrived, and only then makes the result visible: the staging
+//     image is swapped into the store; a diff is fully validated
+//     (decode + bounds) before the first page is written to the live
+//     image, so application cannot fail half way.
 //
 // A failure anywhere before the commit's final swap leaves the previous
 // image intact — the degradation path (§7) then serves the stale-but-
@@ -34,7 +39,22 @@ type pendingUpload struct {
 	uploadID uint64
 	kind     byte
 	alloc    units.Bytes
-	chunks   map[uint32][]byte
+	// seqs tracks staged chunk numbers. For a full image, true means
+	// the chunk finished decoding into staging and false means a decode
+	// claimed the seq and is in flight; for a diff every staged seq is
+	// true.
+	seqs map[uint32]bool
+	// staging receives full-image chunks as they arrive; the store swap
+	// at commit is what makes it visible.
+	staging *pagestore.Image
+	// chunks holds diff chunks (owned copies) until commit.
+	chunks map[uint32][]byte
+	// inflight counts decodes applying into staging right now; commit
+	// waits for it after sealing.
+	inflight sync.WaitGroup
+	// sealed stops new chunk decodes once a commit began; a failed
+	// commit (missing chunks) unseals so the client can re-send.
+	sealed bool
 }
 
 // putBegin opens (or idempotently re-opens) a staging upload. A different
@@ -48,37 +68,83 @@ func (s *Server) putBegin(id pagestore.VMID, uploadID uint64, kind byte, alloc u
 			return err
 		}
 	}
-	s.upMu.Lock()
-	defer s.upMu.Unlock()
-	if p := s.uploads[id]; p != nil && p.uploadID == uploadID {
-		return nil // retried Begin: keep already-staged chunks
-	}
-	s.uploads[id] = &pendingUpload{
+	p := &pendingUpload{
 		uploadID: uploadID,
 		kind:     kind,
 		alloc:    units.Bytes(alloc),
-		chunks:   make(map[uint32][]byte),
+		seqs:     make(map[uint32]bool),
 	}
+	if kind == putKindImage {
+		p.staging = pagestore.NewImage(units.Bytes(alloc))
+	} else {
+		p.chunks = make(map[uint32][]byte)
+	}
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if cur := s.uploads[id]; cur != nil && cur.uploadID == uploadID {
+		return nil // retried Begin: keep already-staged chunks
+	}
+	s.uploads[id] = p
 	return nil
 }
 
-// putChunk stages one chunk. Duplicate sequence numbers overwrite (the
-// retried frame carries identical bytes); chunks for an already-committed
-// upload id are acknowledged as no-ops.
+// putChunk stages one chunk. Duplicate sequence numbers are acknowledged
+// without re-applying (the retried frame carries identical bytes);
+// chunks for an already-committed upload id are acknowledged as no-ops.
+// The chunk slice is only borrowed: full-image chunks are decoded before
+// returning, diff chunks are copied — the caller may reuse the buffer.
 func (s *Server) putChunk(id pagestore.VMID, uploadID uint64, seq uint32, chunk []byte) error {
 	s.upMu.Lock()
-	defer s.upMu.Unlock()
 	p := s.uploads[id]
 	if p == nil || p.uploadID != uploadID {
-		if s.committed[id] == uploadID {
+		committed := s.committed[id] == uploadID
+		s.upMu.Unlock()
+		if committed {
 			return nil // late retry of a chunk whose upload already committed
 		}
 		return fmt.Errorf("no open upload %d for vm %04d (PutBegin first)", uploadID, id)
 	}
-	if _, dup := p.chunks[seq]; !dup && len(p.chunks) >= maxUploadChunks {
+	if _, dup := p.seqs[seq]; dup {
+		s.upMu.Unlock()
+		return nil // duplicate: already staged or decoding right now
+	}
+	if len(p.seqs) >= maxUploadChunks {
+		s.upMu.Unlock()
 		return fmt.Errorf("upload %d for vm %04d exceeds %d chunks", uploadID, id, maxUploadChunks)
 	}
-	p.chunks[seq] = chunk
+	if p.kind == putKindDiff {
+		p.chunks[seq] = append([]byte(nil), chunk...)
+		p.seqs[seq] = true
+		s.upMu.Unlock()
+		return nil
+	}
+	if p.sealed {
+		s.upMu.Unlock()
+		return fmt.Errorf("upload %d for vm %04d is committing", uploadID, id)
+	}
+	// Full image: claim the seq and decode into the staging image
+	// outside the lock — arrival-time application is what overlaps
+	// decode with the wire and lets the receive buffer be reused.
+	p.seqs[seq] = false
+	p.inflight.Add(1)
+	staging := p.staging
+	s.upMu.Unlock()
+
+	err := pagestore.ApplySnapshot(staging, chunk)
+
+	s.upMu.Lock()
+	if cur := s.uploads[id]; cur == p {
+		if err != nil {
+			delete(p.seqs, seq) // un-claim so a re-send can retry
+		} else {
+			p.seqs[seq] = true
+		}
+	}
+	s.upMu.Unlock()
+	p.inflight.Done()
+	if err != nil {
+		return fmt.Errorf("chunk %d of upload %d for vm %04d: %w", seq, uploadID, id, err)
+	}
 	return nil
 }
 
@@ -96,32 +162,60 @@ func (s *Server) putCommit(id pagestore.VMID, uploadID uint64, n uint32) error {
 		}
 		return fmt.Errorf("no open upload %d for vm %04d", uploadID, id)
 	}
-	chunks := make([][]byte, n)
-	for i := uint32(0); i < n; i++ {
-		c, ok := p.chunks[i]
-		if !ok {
-			s.upMu.Unlock()
-			return fmt.Errorf("upload %d for vm %04d missing chunk %d/%d", uploadID, id, i, n)
-		}
-		chunks[i] = c
-	}
-	if uint32(len(p.chunks)) != n {
-		s.upMu.Unlock()
-		return fmt.Errorf("upload %d for vm %04d has %d chunks, commit says %d", uploadID, id, len(p.chunks), n)
-	}
-	kind, alloc := p.kind, p.alloc
-	s.upMu.Unlock()
 
 	start := time.Now()
-	pages, err := s.applyUpload(id, kind, alloc, chunks)
-	if err != nil {
-		return err
+	var pages int64
+	switch p.kind {
+	case putKindImage:
+		// Seal against new decodes, wait out the in-flight ones, then
+		// verify coverage. The store swap below is the commit point.
+		p.sealed = true
+		s.upMu.Unlock()
+		p.inflight.Wait()
+		s.upMu.Lock()
+		if cur := s.uploads[id]; cur != p {
+			s.upMu.Unlock()
+			return fmt.Errorf("upload %d for vm %04d superseded during commit", uploadID, id)
+		}
+		if err := p.verifySeqs(n); err != nil {
+			p.sealed = false // let the client re-send what is missing
+			s.upMu.Unlock()
+			return err
+		}
+		s.upMu.Unlock()
+		s.store.Put(id, p.staging)
+		pages = p.staging.TouchedPages()
+
+	case putKindDiff:
+		chunks := make([][]byte, n)
+		for i := uint32(0); i < n; i++ {
+			c, ok := p.chunks[i]
+			if !ok {
+				s.upMu.Unlock()
+				return fmt.Errorf("upload %d for vm %04d missing chunk %d/%d", uploadID, id, i, n)
+			}
+			chunks[i] = c
+		}
+		if uint32(len(p.chunks)) != n {
+			s.upMu.Unlock()
+			return fmt.Errorf("upload %d for vm %04d has %d chunks, commit says %d", uploadID, id, len(p.chunks), n)
+		}
+		s.upMu.Unlock()
+		var err error
+		pages, err = s.applyDiff(id, chunks)
+		if err != nil {
+			return err
+		}
+
+	default:
+		s.upMu.Unlock()
+		return fmt.Errorf("unknown upload kind %d", p.kind)
 	}
 	s.tel.applySecs.Observe(sinceSeconds(start))
 	s.pagesUploaded.Add(pages)
 
 	s.upMu.Lock()
-	if cur := s.uploads[id]; cur != nil && cur.uploadID == uploadID {
+	if cur := s.uploads[id]; cur == p {
 		delete(s.uploads, id)
 	}
 	s.committed[id] = uploadID
@@ -129,58 +223,54 @@ func (s *Server) putCommit(id pagestore.VMID, uploadID uint64, n uint32) error {
 	return s.persist(id)
 }
 
-// applyUpload decodes the chunks in parallel and installs the result.
-func (s *Server) applyUpload(id pagestore.VMID, kind byte, alloc units.Bytes, chunks [][]byte) (int64, error) {
-	switch kind {
-	case putKindImage:
-		// Build the replacement in a private staging image; the store
-		// swap below is the commit point.
-		im := pagestore.NewImage(alloc)
-		if err := forEachChunk(chunks, func(chunk []byte) error {
-			return pagestore.ApplySnapshot(im, chunk)
-		}); err != nil {
-			return 0, err
+// verifySeqs checks chunks 0..n-1 all finished staging. Callers hold
+// s.upMu.
+func (p *pendingUpload) verifySeqs(n uint32) error {
+	for i := uint32(0); i < n; i++ {
+		done, ok := p.seqs[i]
+		if !ok || !done {
+			return fmt.Errorf("upload %d missing chunk %d/%d", p.uploadID, i, n)
 		}
-		s.store.Put(id, im)
-		return im.TouchedPages(), nil
-
-	case putKindDiff:
-		im, err := s.store.Get(id)
-		if err != nil {
-			return 0, err
-		}
-		// Validate every chunk completely — framing, decompression, and
-		// PFN bounds — before the first write lands, so the apply pass
-		// below cannot fail part way through the live image.
-		npages := im.NumPages()
-		if err := forEachChunk(chunks, func(chunk []byte) error {
-			return pagestore.DecodeSnapshot(chunk, func(pfn pagestore.PFN, _ []byte) error {
-				if int64(pfn) >= npages {
-					return fmt.Errorf("%w: pfn %d, allocation %d pages", pagestore.ErrOutOfRange, pfn, npages)
-				}
-				return nil
-			})
-		}); err != nil {
-			return 0, err
-		}
-		var pages atomic.Int64
-		if err := forEachChunk(chunks, func(chunk []byte) error {
-			var n int64
-			err := pagestore.DecodeSnapshot(chunk, func(pfn pagestore.PFN, page []byte) error {
-				n++
-				return im.Write(pfn, page)
-			})
-			pages.Add(n)
-			return err
-		}); err != nil {
-			// Unreachable after validation; surfaced for completeness.
-			return 0, err
-		}
-		return pages.Load(), nil
-
-	default:
-		return 0, fmt.Errorf("unknown upload kind %d", kind)
 	}
+	if uint32(len(p.seqs)) != n {
+		return fmt.Errorf("upload %d has %d chunks, commit says %d", p.uploadID, len(p.seqs), n)
+	}
+	return nil
+}
+
+// applyDiff validates every diff chunk completely — framing,
+// decompression, and PFN bounds — before the first write lands, so the
+// apply pass cannot fail part way through the live image.
+func (s *Server) applyDiff(id pagestore.VMID, chunks [][]byte) (int64, error) {
+	im, err := s.store.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	npages := im.NumPages()
+	if err := forEachChunk(chunks, func(chunk []byte) error {
+		return pagestore.DecodeSnapshot(chunk, func(pfn pagestore.PFN, _ []byte) error {
+			if int64(pfn) >= npages {
+				return fmt.Errorf("%w: pfn %d, allocation %d pages", pagestore.ErrOutOfRange, pfn, npages)
+			}
+			return nil
+		})
+	}); err != nil {
+		return 0, err
+	}
+	var pages atomic.Int64
+	if err := forEachChunk(chunks, func(chunk []byte) error {
+		var n int64
+		err := pagestore.DecodeSnapshot(chunk, func(pfn pagestore.PFN, page []byte) error {
+			n++
+			return im.Write(pfn, page)
+		})
+		pages.Add(n)
+		return err
+	}); err != nil {
+		// Unreachable after validation; surfaced for completeness.
+		return 0, err
+	}
+	return pages.Load(), nil
 }
 
 // forEachChunk runs fn over every chunk with bounded parallelism. Chunks

@@ -1,0 +1,149 @@
+package memtap
+
+import (
+	"bytes"
+	"testing"
+
+	"oasis/internal/hypervisor"
+	"oasis/internal/memserver"
+	"oasis/internal/pagestore"
+	"oasis/internal/units"
+)
+
+// startZeroHeavyBackend is startBackend with a mixed image: non-zero
+// pages interleaved with explicitly zeroed ones, so elision and the
+// zero fast path are exercised.
+func startZeroHeavyBackend(t *testing.T, vmid pagestore.VMID, alloc units.Bytes) (string, *pagestore.Image) {
+	t.Helper()
+	srv := memserver.NewServer(secret, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	im := pagestore.NewImage(alloc)
+	for pfn := pagestore.PFN(0); int64(pfn) < im.NumPages(); pfn++ {
+		if pfn%3 == 0 {
+			continue // zero page (untouched)
+		}
+		p := bytes.Repeat([]byte{byte(pfn%250 + 1)}, int(units.PageSize))
+		if err := im.Write(pfn, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Store().Put(vmid, im)
+	return addr.String(), im
+}
+
+// fullReadback compares every fetched page against the source image.
+// Page-table frames travel with the descriptor, not the pager, so the
+// comparison starts after them.
+func fullReadback(t *testing.T, pvm *hypervisor.PartialVM, src *pagestore.Image) {
+	t.Helper()
+	for pfn := pagestore.PFN(pvm.Desc().PageTablePages); int64(pfn) < src.NumPages(); pfn++ {
+		got, err := pvm.Image().Read(pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := src.Read(pfn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("page %d differs after prefetch", pfn)
+		}
+	}
+}
+
+// TestAdaptivePrefetchFollowsFaults seeds the fault-hint ring mid-image
+// and checks the prefetcher issues locality-directed batches (the
+// reorder counter moves) while still converting the VM fully and
+// correctly.
+func TestAdaptivePrefetchFollowsFaults(t *testing.T) {
+	addr, src := startBackend(t, 61, 2*units.MiB)
+	mt, err := New(61, addr, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	desc := hypervisor.NewDescriptor(61, "adaptive", 2*units.MiB, 1)
+	pvm, err := hypervisor.NewPartialVM(desc, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault a page in the back half: the guest's working set is "there".
+	hot := pagestore.PFN(desc.Alloc.Pages() * 3 / 4)
+	if _, err := pvm.Touch(hot); err != nil {
+		t.Fatal(err)
+	}
+	if mt.PrefetchReorders() != 0 {
+		t.Fatal("reorders counted before any prefetch")
+	}
+	if _, err := mt.PrefetchRemaining(pvm, 32); err != nil {
+		t.Fatal(err)
+	}
+	if mt.PrefetchReorders() == 0 {
+		t.Fatal("prefetch ignored the recorded fault hint")
+	}
+	if got := pvm.PresentPages(); got != desc.Alloc.Pages() {
+		t.Fatalf("present %d/%d pages after prefetch", got, desc.Alloc.Pages())
+	}
+	fullReadback(t, pvm, src)
+}
+
+// TestPrefetchSerialPooledEquivalent converts the same image serially
+// and with pipelined streams over a pool; both must install exactly the
+// absent-page count and reproduce the source bit for bit.
+func TestPrefetchSerialPooledEquivalent(t *testing.T) {
+	const alloc = 2 * units.MiB
+	run := func(opts Options) (int, *hypervisor.PartialVM, *pagestore.Image) {
+		addr, src := startZeroHeavyBackend(t, 62, alloc)
+		mt, err := NewWithOptions(62, addr, secret, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mt.Close() })
+		desc := hypervisor.NewDescriptor(62, "equiv", alloc, 1)
+		pvm, err := hypervisor.NewPartialVM(desc, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := mt.PrefetchRemaining(pvm, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, pvm, src
+	}
+
+	nSerial, pvmS, srcS := run(Options{})
+	nPooled, pvmP, srcP := run(Options{PoolSize: 3, PrefetchStreams: 3})
+	if nSerial != nPooled {
+		t.Fatalf("serial installed %d pages, pooled %d", nSerial, nPooled)
+	}
+	fullReadback(t, pvmS, srcS)
+	fullReadback(t, pvmP, srcP)
+}
+
+// TestPrefetchZeroElision checks zero pages fetched by the prefetcher
+// ride the shared-zero fast path (counted, uncopied) and still read
+// back as zeros.
+func TestPrefetchZeroElision(t *testing.T) {
+	addr, src := startZeroHeavyBackend(t, 63, 1*units.MiB)
+	mt, err := New(63, addr, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	desc := hypervisor.NewDescriptor(63, "zero", 1*units.MiB, 1)
+	pvm, err := hypervisor.NewPartialVM(desc, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.PrefetchRemaining(pvm, 32); err != nil {
+		t.Fatal(err)
+	}
+	if mt.ZeroPagesElided() == 0 {
+		t.Fatal("no zero pages elided from a zero-heavy image")
+	}
+	fullReadback(t, pvm, src)
+}

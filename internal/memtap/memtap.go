@@ -49,6 +49,8 @@ var tel = struct {
 	batches     *telemetry.Counter
 	dedup       *telemetry.Counter
 	inflight    *telemetry.Gauge
+	reorder     *telemetry.Counter
+	zeroElided  *telemetry.Counter
 }{
 	faults: telemetry.Default.Counter("oasis_memtap_faults_total",
 		"Page faults serviced from memory servers."),
@@ -66,6 +68,10 @@ var tel = struct {
 		"Concurrent faults coalesced onto an already in-flight fetch of the same PFN."),
 	inflight: telemetry.Default.Gauge("oasis_memtap_inflight_faults",
 		"Remote page fetches currently in flight (single-flight leaders)."),
+	reorder: telemetry.Default.Counter("oasis_memtap_prefetch_reorder_total",
+		"Prefetch batches issued out of linear PFN order to follow the guest's recent fault locality."),
+	zeroElided: telemetry.Default.Counter("oasis_client_zero_pages_elided_total",
+		"Fetched pages recognized as the shared zero page and installed without a 4 KiB scan-and-copy."),
 }
 
 // degradedGauge returns the per-VM degraded gauge. It is graded: 0
@@ -174,7 +180,48 @@ type Memtap struct {
 	inflight map[pagestore.PFN]*fetchCall
 
 	prefetchStreams atomic.Int32
+
+	// faultRing is a small lossy ring of recently faulted PFNs (stored
+	// +1 so zero means empty). The fault path publishes into it lock-free;
+	// the prefetcher drains it to redirect its scan toward the guest's
+	// current working set. Overwrites under pressure are fine — only the
+	// freshest locality matters.
+	faultRing  [faultRingSize]atomic.Int64
+	faultRingW atomic.Uint32
+
+	reorders   atomic.Int64
+	zeroElided atomic.Int64
 }
+
+// faultRingSize bounds the fault-locality hint ring. 32 entries cover a
+// few service rounds of concurrent vCPU faults without letting a long
+// prefetch round chase stale history.
+const faultRingSize = 32
+
+// noteFault publishes a faulted PFN as a prefetch locality hint.
+func (m *Memtap) noteFault(pfn pagestore.PFN) {
+	slot := (m.faultRingW.Add(1) - 1) % faultRingSize
+	m.faultRing[slot].Store(int64(pfn) + 1)
+}
+
+// takeFaultHint pops one recent-fault hint, newest-agnostic (slot order),
+// or reports none pending.
+func (m *Memtap) takeFaultHint() (pagestore.PFN, bool) {
+	for i := range m.faultRing {
+		if v := m.faultRing[i].Swap(0); v != 0 {
+			return pagestore.PFN(v - 1), true
+		}
+	}
+	return 0, false
+}
+
+// PrefetchReorders returns how many prefetch batches were issued out of
+// linear order to follow fault locality.
+func (m *Memtap) PrefetchReorders() int64 { return m.reorders.Load() }
+
+// ZeroPagesElided returns how many fetched pages were recognized as the
+// shared zero page and installed without copying.
+func (m *Memtap) ZeroPagesElided() int64 { return m.zeroElided.Load() }
 
 func newMemtap(vmid pagestore.VMID, client PageClient) *Memtap {
 	return &Memtap{
@@ -437,6 +484,7 @@ func (m *Memtap) fetchRemote(id pagestore.VMID, pfn pagestore.PFN) ([]byte, erro
 	}
 	m.faults.Add(1)
 	m.bytes.Add(int64(units.PageSize))
+	m.noteFault(pfn)
 	elapsed := time.Since(start).Seconds()
 	m.latMu.Lock()
 	m.latency.Add(elapsed)
@@ -472,11 +520,107 @@ func (m *Memtap) MeanLatency() time.Duration {
 // Close releases the connection to the memory server.
 func (m *Memtap) Close() error { return m.client.Close() }
 
-// prefetchResult carries one batch back from the wire to the installer.
-type prefetchResult struct {
-	pfns  []pagestore.PFN
-	pages map[pagestore.PFN][]byte
-	err   error
+// prefetchRun is the shared state of one PrefetchRemaining call: a claim
+// set preventing two streams from fetching the same pages, a linear scan
+// cursor, and the error latch that aborts every stream.
+type prefetchRun struct {
+	m  *Memtap
+	vm *hypervisor.PartialVM
+
+	batch int
+
+	mu      sync.Mutex
+	claimed map[pagestore.PFN]struct{}
+	cursor  pagestore.PFN
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// fail latches the first error; every stream checks failed() and drains.
+func (r *prefetchRun) fail(err error) {
+	r.errMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.errMu.Unlock()
+}
+
+func (r *prefetchRun) failed() bool {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.firstErr != nil
+}
+
+// collect claims up to max unclaimed absent pages starting at from.
+// Callers hold r.mu.
+func (r *prefetchRun) collect(from pagestore.PFN, max int) []pagestore.PFN {
+	var out []pagestore.PFN
+	for len(out) < max {
+		// Over-fetch so a run of already-claimed pages (another stream's
+		// in-flight batch) doesn't stall the scan.
+		cand := r.vm.AbsentPagesFrom(from, 2*max)
+		if len(cand) == 0 {
+			break
+		}
+		for _, pfn := range cand {
+			if _, taken := r.claimed[pfn]; taken {
+				continue
+			}
+			out = append(out, pfn)
+			if len(out) >= max {
+				break
+			}
+		}
+		from = cand[len(cand)-1] + 1
+	}
+	for _, pfn := range out {
+		r.claimed[pfn] = struct{}{}
+	}
+	return out
+}
+
+// nextBatch claims the next batch of absent pages. Recent guest faults
+// redirect the scan: a fault at PFN p means the guest is working near p,
+// so the pages right after it are the likeliest next on-demand misses
+// and prefetching them first turns would-be faults into installs. With
+// no hints pending, the scan proceeds from the ascending cursor (with
+// one wrap to sweep pages behind it). nil means every absent page is
+// claimed by an in-flight batch — the stream is done.
+func (r *prefetchRun) nextBatch() []pagestore.PFN {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		hint, ok := r.m.takeFaultHint()
+		if !ok {
+			break
+		}
+		if pfns := r.collect(hint, r.batch); len(pfns) > 0 {
+			r.m.reorders.Add(1)
+			tel.reorder.Inc()
+			return pfns
+		}
+	}
+	for {
+		if pfns := r.collect(r.cursor, r.batch); len(pfns) > 0 {
+			r.cursor = pfns[len(pfns)-1] + 1
+			return pfns
+		}
+		if r.cursor == 0 {
+			return nil
+		}
+		r.cursor = 0
+	}
+}
+
+// unclaim releases a completed batch's claims (its pages are present
+// now, or the run is aborting on its error).
+func (r *prefetchRun) unclaim(pfns []pagestore.PFN) {
+	r.mu.Lock()
+	for _, pfn := range pfns {
+		delete(r.claimed, pfn)
+	}
+	r.mu.Unlock()
 }
 
 // PrefetchRemaining streams every absent page of the partial VM from the
@@ -486,64 +630,67 @@ type prefetchResult struct {
 // writes concurrently are left untouched. It returns the number of pages
 // installed.
 //
-// With PrefetchStreams > 1 the batches are pipelined: up to that many
-// GetPages requests ride the wire concurrently (spread over the pool's
-// lanes) and batch k installs while batch k+1 is still in flight, hiding
-// install time behind transfer time. Over a pool of size >= streams the
-// batches also genuinely overlap on the network.
+// Batch ordering is adaptive: the fault path publishes recently faulted
+// PFNs into a small ring, and the prefetcher redirects its scan to the
+// pages right after the guest's latest faults (counted by
+// oasis_memtap_prefetch_reorder_total) before falling back to an
+// ascending sweep. With PrefetchStreams > 1 that scan feeds up to that
+// many continuously running streams — each claims a batch, fetches, and
+// installs while the others are still on the wire, with no barrier
+// between rounds; a slow batch no longer stalls the other lanes. Over a
+// pool of size >= streams the batches also genuinely overlap on the
+// network. Serial and pipelined runs install the same set of pages.
 func (m *Memtap) PrefetchRemaining(vm *hypervisor.PartialVM, batch int) (int, error) {
 	if batch <= 0 {
 		batch = 512
 	}
 	streams := m.PrefetchStreams()
-	installed := 0
-	for {
-		pfns := vm.AbsentPages(batch * streams)
-		if len(pfns) == 0 {
-			return installed, nil
-		}
-		// Fan the round's work out as up to `streams` concurrent batches;
-		// install each batch as it lands, overlapping the ones still on
-		// the wire.
-		results := make(chan prefetchResult, streams)
-		nchunks := 0
-		for start := 0; start < len(pfns); start += batch {
-			end := start + batch
-			if end > len(pfns) {
-				end = len(pfns)
+	r := &prefetchRun{m: m, vm: vm, batch: batch, claimed: make(map[pagestore.PFN]struct{})}
+
+	var installed atomic.Int64
+	work := func() {
+		for !r.failed() {
+			pfns := r.nextBatch()
+			if pfns == nil {
+				return
 			}
-			chunk := pfns[start:end]
-			nchunks++
-			go func(chunk []pagestore.PFN) {
-				pages, err := m.client.GetPages(m.vmid, chunk)
-				tel.batches.Inc()
-				results <- prefetchResult{pfns: chunk, pages: pages, err: err}
-			}(chunk)
-		}
-		var firstErr error
-		for i := 0; i < nchunks; i++ {
-			r := <-results // always drain: no goroutine leaks on error
-			if firstErr != nil {
-				continue
-			}
-			if r.err != nil {
-				err := r.err
+			pages, err := m.client.GetPages(m.vmid, pfns)
+			tel.batches.Inc()
+			if err != nil {
+				r.unclaim(pfns)
 				if errors.Is(err, memserver.ErrCircuitOpen) || m.Degraded() {
 					err = fmt.Errorf("%w: %w", ErrDegraded, err)
 				}
-				firstErr = fmt.Errorf("memtap: prefetch vm %04d: %w", m.vmid, err)
-				continue
+				r.fail(fmt.Errorf("memtap: prefetch vm %04d: %w", m.vmid, err))
+				return
 			}
-			n, err := m.installBatch(vm, r.pfns, r.pages)
-			installed += n
+			n, err := m.installBatch(vm, pfns, pages)
+			installed.Add(int64(n))
+			r.unclaim(pfns)
 			if err != nil {
-				firstErr = err
+				r.fail(err)
+				return
 			}
-		}
-		if firstErr != nil {
-			return installed, firstErr
 		}
 	}
+
+	if streams <= 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < streams; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	r.errMu.Lock()
+	err := r.firstErr
+	r.errMu.Unlock()
+	return int(installed.Load()), err
 }
 
 // installBatch installs one fetched batch into the VM, counting only the
@@ -560,6 +707,13 @@ func (m *Memtap) installBatch(vm *hypervisor.PartialVM, pfns []pagestore.PFN, pa
 		page, ok := pages[pfn]
 		if !ok {
 			return installed, fmt.Errorf("memtap: prefetch vm %04d: server omitted pfn %d", m.vmid, pfn)
+		}
+		if pagestore.IsSharedZero(page) {
+			// The decoder handed back its shared zero page: install the
+			// elided form instead of scanning and copying 4 KiB of zeros.
+			page = nil
+			m.zeroElided.Add(1)
+			tel.zeroElided.Inc()
 		}
 		ok, err := vm.Install(pfn, page)
 		if err != nil {

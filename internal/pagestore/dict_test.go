@@ -1,0 +1,260 @@
+package pagestore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"oasis/internal/units"
+)
+
+// dictTestImage builds an image whose non-zero pages are mutations of a
+// shared template, with some fully random and some zero pages mixed in.
+func dictTestImage(t *testing.T, rng *rand.Rand, pages int) *Image {
+	t.Helper()
+	im := NewImage(units.PagesBytes(int64(pages)))
+	template := make([]byte, units.PageSize)
+	rng.Read(template)
+	page := make([]byte, units.PageSize)
+	for i := 0; i < pages; i++ {
+		switch rng.Intn(5) {
+		case 0: // leave as zero page (untouched)
+		case 1: // explicit zero write (dirty but elided)
+			if err := im.Write(PFN(i), nil); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // incompressible page
+			rng.Read(page)
+			if err := im.Write(PFN(i), page); err != nil {
+				t.Fatal(err)
+			}
+		default: // near-template page
+			copy(page, template)
+			for j := 0; j < 1+rng.Intn(20); j++ {
+				page[rng.Intn(len(page))] = byte(rng.Int())
+			}
+			if err := im.Write(PFN(i), page); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return im
+}
+
+func imagesEqual(t *testing.T, a, b *Image) {
+	t.Helper()
+	ea, _, err := EncodeAll(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, _, err := EncodeAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("images differ after round trip")
+	}
+}
+
+func TestDictSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		im := dictTestImage(t, rng, 64)
+		dict := BuildDict(im)
+		snap, _, err := EncodeAllDict(im, dict, 1+trial%4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := NewImage(im.Alloc())
+		if err := ApplySnapshot(back, snap); err != nil {
+			t.Fatal(err)
+		}
+		imagesEqual(t, im, back)
+	}
+}
+
+func TestDictSnapshotParallelByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	im := dictTestImage(t, rng, 200)
+	dict := BuildDict(im)
+	if dict == nil {
+		t.Fatal("template-heavy image should produce a dictionary")
+	}
+	serial, _, err := EncodeAllDict(im, dict, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 7, 16} {
+		par, _, err := EncodeAllDict(im, dict, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("workers=%d: parallel dict encode differs from serial", workers)
+		}
+	}
+}
+
+func TestDictSnapshotBeatsPlainOnTemplatePages(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	im := dictTestImage(t, rng, 256)
+	dict := BuildDict(im)
+	if dict == nil {
+		t.Fatal("expected a dictionary")
+	}
+	plain, _, err := EncodeAll(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDict, _, err := EncodeAllDict(im, dict, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withDict) >= len(plain) {
+		t.Fatalf("dict snapshot not smaller: plain %d, dict %d", len(plain), len(withDict))
+	}
+}
+
+func TestBuildDictNilOnIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	im := NewImage(units.PagesBytes(32))
+	page := make([]byte, units.PageSize)
+	for i := 0; i < 32; i++ {
+		rng.Read(page)
+		if err := im.Write(PFN(i), page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dict := BuildDict(im); dict != nil {
+		// A dict may rarely still win by luck; it must at least not be
+		// claimed when it can't shrink anything meaningfully. Allow but
+		// verify round trip.
+		snap, _, err := EncodeAllDict(im, dict, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := NewImage(im.Alloc())
+		if err := ApplySnapshot(back, snap); err != nil {
+			t.Fatal(err)
+		}
+		imagesEqual(t, im, back)
+	}
+}
+
+func TestSplitSnapshotRefsMatchesSplitSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, withDict := range []bool{false, true} {
+		im := dictTestImage(t, rng, 128)
+		var snap []byte
+		var err error
+		if withDict {
+			snap, _, err = EncodeAllDict(im, BuildDict(im), 2)
+		} else {
+			snap, _, err = EncodeAll(im)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, maxChunk := range []int{0, 1 << 14, 1 << 16, 1 << 30} {
+			chunks, err := SplitSnapshot(snap, maxChunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs, err := SplitSnapshotRefs(snap, maxChunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(chunks) != len(refs) {
+				t.Fatalf("dict=%v maxChunk=%d: %d chunks vs %d refs",
+					withDict, maxChunk, len(chunks), len(refs))
+			}
+			back := NewImage(im.Alloc())
+			for i := range refs {
+				if got := refs[i].AppendTo(nil); !bytes.Equal(got, chunks[i]) {
+					t.Fatalf("dict=%v maxChunk=%d chunk %d: ref bytes differ", withDict, maxChunk, i)
+				}
+				if refs[i].Len() != len(chunks[i]) {
+					t.Fatalf("chunk %d: Len %d != %d", i, refs[i].Len(), len(chunks[i]))
+				}
+				// Every chunk must be independently decodable.
+				if err := ApplySnapshot(back, chunks[i]); err != nil {
+					t.Fatalf("chunk %d: %v", i, err)
+				}
+			}
+			imagesEqual(t, im, back)
+		}
+	}
+}
+
+func TestSplitSnapshotRefsEmpty(t *testing.T) {
+	im := NewImage(units.PagesBytes(4))
+	for _, dict := range [][]byte{nil, []byte("template-bytes-for-empty-test")} {
+		snap, _, err := EncodeAllDict(im, dict, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs, err := SplitSnapshotRefs(snap, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refs) != 1 {
+			t.Fatalf("empty snapshot: %d chunks", len(refs))
+		}
+		back := NewImage(im.Alloc())
+		if err := ApplySnapshot(back, refs[0].AppendTo(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPartitionSnapshotDict(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	im := dictTestImage(t, rng, 128)
+	dict := BuildDict(im)
+	snap, _, err := EncodeAllDict(im, dict, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	parts, err := PartitionSnapshot(snap, n, func(pfn PFN) []int {
+		return []int{int(pfn) % n}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewImage(im.Alloc())
+	for i, p := range parts {
+		if err := ApplySnapshot(back, p); err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+	}
+	imagesEqual(t, im, back)
+
+	// An owner function mapping nothing to owner 2 must still yield a
+	// valid, applicable (dict-carrying) empty partition.
+	parts, err = PartitionSnapshot(snap, n, func(pfn PFN) []int {
+		return []int{int(pfn) % 2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplySnapshot(NewImage(im.Alloc()), parts[2]); err != nil {
+		t.Fatalf("empty dict partition not applicable: %v", err)
+	}
+}
+
+func TestIsSharedZero(t *testing.T) {
+	p, err := DecodePage(tokenZero, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSharedZero(p) {
+		t.Fatal("zero-token decode is not the shared zero page")
+	}
+	if IsSharedZero(make([]byte, units.PageSize)) {
+		t.Fatal("fresh zero slice misidentified as shared")
+	}
+	if IsSharedZero(nil) {
+		t.Fatal("nil misidentified as shared zero")
+	}
+}

@@ -131,14 +131,17 @@ func EncodeAll(im *Image) ([]byte, int, error) {
 	return data, len(pfns), err
 }
 
-// DecodeSnapshot parses a snapshot, invoking apply for every page. Zero
-// pages are delivered as a nil slice so the receiver can elide storage.
+// DecodeSnapshot parses a snapshot (either the v1 "OAPS" or the v2
+// dictionary-carrying "OAPD" format), invoking apply for every page.
+// Zero pages are delivered as a nil slice so the receiver can elide
+// storage.
 func DecodeSnapshot(data []byte, apply func(pfn PFN, page []byte) error) error {
-	if len(data) < 8 || string(data[:4]) != snapMagic {
-		return fmt.Errorf("pagestore: bad snapshot magic")
+	hdr, err := parseSnapHeader(data)
+	if err != nil {
+		return err
 	}
-	count := binary.BigEndian.Uint32(data[4:8])
-	off := 8
+	count := hdr.count
+	off := hdr.bodyOff
 	pageBuf := make([]byte, 0, units.PageSize)
 	for i := uint32(0); i < count; i++ {
 		if off+10 > len(data) {
@@ -161,12 +164,27 @@ func DecodeSnapshot(data []byte, apply func(pfn PFN, page []byte) error) error {
 				return err
 			}
 			off += n
+		case token&tokenDictBit != 0:
+			n := int(token &^ tokenDictBit)
+			if off+n > len(data) {
+				return fmt.Errorf("pagestore: truncated compressed page %d", pfn)
+			}
+			if hdr.dict == nil {
+				return fmt.Errorf("pagestore: page %d: dict token in dictionary-less snapshot", pfn)
+			}
+			pageBuf, err = lzf.DecompressDict(pageBuf[:0], hdr.dict, data[off:off+n], int(units.PageSize))
+			if err != nil {
+				return fmt.Errorf("pagestore: page %d: %w", pfn, err)
+			}
+			if err := apply(pfn, pageBuf); err != nil {
+				return err
+			}
+			off += n
 		default:
 			n := int(token)
 			if off+n > len(data) {
 				return fmt.Errorf("pagestore: truncated compressed page %d", pfn)
 			}
-			var err error
 			pageBuf, err = lzf.Decompress(pageBuf[:0], data[off:off+n], int(units.PageSize))
 			if err != nil {
 				return fmt.Errorf("pagestore: page %d: %w", pfn, err)
@@ -233,6 +251,8 @@ func PageBodyLen(token uint16) int {
 		return 0
 	case token&tokenRawBit != 0:
 		return int(units.PageSize)
+	case token&tokenDictBit != 0:
+		return int(token &^ tokenDictBit)
 	default:
 		return int(token)
 	}
@@ -249,6 +269,10 @@ func DecodePage(token uint16, payload []byte) ([]byte, error) {
 			return nil, fmt.Errorf("pagestore: raw page payload %d bytes", len(payload))
 		}
 		return payload, nil
+	case token&tokenDictBit != 0:
+		// Dict tokens only appear inside v2 snapshots, which carry their
+		// dictionary; the page-serving wire never produces them.
+		return nil, fmt.Errorf("pagestore: dict token outside a dictionary snapshot")
 	default:
 		out, err := lzf.Decompress(nil, payload, int(units.PageSize))
 		if err != nil {

@@ -2,7 +2,6 @@ package pagestore
 
 import (
 	"encoding/binary"
-	"fmt"
 	"sync"
 
 	"oasis/internal/units"
@@ -87,72 +86,28 @@ func EncodeAllParallel(im *Image, workers int) ([]byte, int, error) {
 // fits in some chunk.
 var minSplitChunk = 8 + 10 + int(units.PageSize)
 
-// SplitSnapshot splits an encoded snapshot into self-contained snapshot
-// chunks of at most maxChunk bytes each (raised to the single-entry
-// minimum if smaller). Entries are never split: the walk skips over each
-// payload using the token lengths, without decompressing, and re-frames
-// every chunk with its own header. Applying the chunks in any order —
+// SplitSnapshot splits an encoded snapshot (either format) into
+// self-contained snapshot chunks of at most maxChunk bytes each (raised
+// to the single-entry minimum if smaller). Entries are never split: the
+// walk skips over each payload using the token lengths, without
+// decompressing, and re-frames every chunk with its own header (v2
+// chunks each carry the dictionary). Applying the chunks in any order —
 // page entries are independent — reproduces applying the original, which
 // is what lets the streaming upload path ship them concurrently and the
 // server decode them in parallel. An empty snapshot yields one empty
 // chunk.
+//
+// SplitSnapshot materializes each chunk; the streaming upload hot path
+// uses SplitSnapshotRefs instead, which describes the same chunks
+// without copying any page bytes.
 func SplitSnapshot(data []byte, maxChunk int) ([][]byte, error) {
-	if len(data) < 8 || string(data[:4]) != snapMagic {
-		return nil, fmt.Errorf("pagestore: bad snapshot magic")
+	refs, err := SplitSnapshotRefs(data, maxChunk)
+	if err != nil {
+		return nil, err
 	}
-	if maxChunk < minSplitChunk {
-		maxChunk = minSplitChunk
-	}
-	count := binary.BigEndian.Uint32(data[4:8])
-	off := 8
-	var chunks [][]byte
-	var cur []byte
-	var curCount uint32
-	flush := func() {
-		if cur == nil {
-			return
-		}
-		binary.BigEndian.PutUint32(cur[4:8], curCount)
-		chunks = append(chunks, cur)
-		cur, curCount = nil, 0
-	}
-	for i := uint32(0); i < count; i++ {
-		if off+10 > len(data) {
-			return nil, fmt.Errorf("pagestore: truncated snapshot at page %d/%d", i, count)
-		}
-		token := binary.BigEndian.Uint16(data[off+8:])
-		entry := 10
-		if token != tokenZero {
-			if token&tokenRawBit != 0 {
-				entry += int(token &^ tokenRawBit)
-			} else {
-				entry += int(token)
-			}
-		}
-		if off+entry > len(data) {
-			return nil, fmt.Errorf("pagestore: truncated snapshot at page %d/%d", i, count)
-		}
-		if cur != nil && len(cur)+entry > maxChunk {
-			flush()
-		}
-		if cur == nil {
-			cur = make([]byte, 0, maxChunk)
-			cur = append(cur, snapMagic...)
-			cur = append(cur, 0, 0, 0, 0) // count patched in flush
-		}
-		cur = append(cur, data[off:off+entry]...)
-		curCount++
-		off += entry
-	}
-	if off != len(data) {
-		return nil, fmt.Errorf("pagestore: %d trailing bytes in snapshot", len(data)-off)
-	}
-	flush()
-	if len(chunks) == 0 {
-		empty := make([]byte, 0, 8)
-		empty = append(empty, snapMagic...)
-		empty = append(empty, 0, 0, 0, 0)
-		chunks = append(chunks, empty)
+	chunks := make([][]byte, len(refs))
+	for i, r := range refs {
+		chunks[i] = r.AppendTo(make([]byte, 0, r.Len()))
 	}
 	return chunks, nil
 }

@@ -181,3 +181,11 @@ func isZero(p []byte) bool {
 
 // IsZeroPage reports whether p contains only zero bytes.
 func IsZeroPage(p []byte) bool { return isZero(p) }
+
+// IsSharedZero reports whether p is the package's shared zero page —
+// the slice DecodePage returns for zero tokens. A pointer compare, so
+// receivers on the fault path can recognize an elided zero page without
+// scanning 4 KiB.
+func IsSharedZero(p []byte) bool {
+	return len(p) == len(zeroPage) && &p[0] == &zeroPage[0]
+}

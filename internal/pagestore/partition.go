@@ -22,23 +22,27 @@ import (
 // uploads never hit an unknown VM.
 //
 // Owner indices outside [0, n) are rejected, as is a malformed snapshot.
+//
+// Both snapshot formats are accepted. A v2 (dictionary) snapshot's
+// dictionary is replicated into every partition — including empty ones —
+// so each per-owner sub-snapshot remains self-contained and an empty
+// partition is still a valid image for a registered-but-empty owner.
 func PartitionSnapshot(data []byte, n int, owners func(PFN) []int) ([][]byte, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("pagestore: partition into %d parts", n)
 	}
-	if len(data) < 8 || string(data[:4]) != snapMagic {
-		return nil, fmt.Errorf("pagestore: bad snapshot magic")
+	hdr, err := parseSnapHeader(data)
+	if err != nil {
+		return nil, err
 	}
-	count := binary.BigEndian.Uint32(data[4:8])
+	count := hdr.count
 	parts := make([][]byte, n)
 	counts := make([]uint32, n)
 	for i := range parts {
-		p := make([]byte, 0, 8+(len(data)-8)/n)
-		p = append(p, snapMagic...)
-		p = append(p, 0, 0, 0, 0) // count patched below
-		parts[i] = p
+		p := make([]byte, 0, hdr.headerLen()+(len(data)-hdr.bodyOff)/n)
+		parts[i] = appendSnapHeader(p, hdr, 0) // count patched below
 	}
-	off := 8
+	off := hdr.bodyOff
 	for i := uint32(0); i < count; i++ {
 		if off+10 > len(data) {
 			return nil, fmt.Errorf("pagestore: truncated snapshot at page %d/%d", i, count)

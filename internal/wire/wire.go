@@ -3,9 +3,19 @@
 // and manage VMs"). Messages are length-prefixed JSON frames over TCP:
 // simple to debug, no external dependencies, and sufficient for control
 // traffic (bulk data rides the memory-server protocol instead).
+//
+// The framing is built for the measured path, not just the debugger:
+// each frame is encoded straight into a pooled buffer behind its own
+// length header and leaves in a single Write (header + body together,
+// so a control round trip costs one segment each way instead of
+// tangling a 4-byte header write with Nagle/delayed-ACK), and receive
+// buffers are pooled too. Buffers that ballooned for a one-off
+// migration-snapshot payload are dropped rather than pinned in the
+// pool. See PERFORMANCE.md for how the control path is measured.
 package wire
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -17,6 +27,12 @@ import (
 // maxFrame bounds one control frame. Full-migration snapshots travel in
 // RPC payloads during host-to-host migration, so the ceiling is generous.
 const maxFrame = 1 << 30
+
+// retainFrame is the largest buffer the frame pools keep. Control
+// frames are tiny; the occasional migration payload may grow a buffer
+// to hundreds of megabytes, and returning that to the pool would pin it
+// for the life of the process.
+const retainFrame = 1 << 20
 
 type request struct {
 	ID     uint64          `json:"id"`
@@ -30,34 +46,70 @@ type response struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
+// frameBuf is a reusable encode buffer with a JSON encoder bound to it.
+type frameBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var framePool = sync.Pool{New: func() any {
+	fb := &frameBuf{}
+	fb.enc = json.NewEncoder(&fb.buf)
+	return fb
+}}
+
+var zeroHdr = []byte{0, 0, 0, 0}
+
+// writeFrame encodes v directly into a pooled buffer behind a length
+// placeholder, patches the length, and sends header and body in one
+// Write. (The encoder's trailing newline is counted in the frame and
+// skipped by json's whitespace handling on the far side.)
 func writeFrame(w io.Writer, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return err
+	fb := framePool.Get().(*frameBuf)
+	fb.buf.Reset()
+	fb.buf.Write(zeroHdr)
+	err := fb.enc.Encode(v)
+	if err == nil {
+		b := fb.buf.Bytes()
+		if len(b)-4 > maxFrame {
+			err = fmt.Errorf("wire: frame of %d bytes exceeds limit", len(b)-4)
+		} else {
+			binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+			_, err = w.Write(b)
+		}
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	if fb.buf.Cap() <= retainFrame {
+		framePool.Put(fb)
 	}
-	_, err = w.Write(data)
 	return err
 }
+
+var readPool = sync.Pool{New: func() any { return new([]byte) }}
 
 func readFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return err
+	bp := readPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
 	}
-	return json.Unmarshal(buf, v)
+	buf := (*bp)[:n]
+	_, err := io.ReadFull(r, buf)
+	if err == nil {
+		// Unmarshal copies what it keeps (json.RawMessage included), so
+		// the pooled buffer is free for reuse when this returns.
+		err = json.Unmarshal(buf, v)
+	}
+	if cap(*bp) <= retainFrame {
+		readPool.Put(bp)
+	}
+	return err
 }
 
 // Handler serves one RPC method. Params arrive as raw JSON; the returned
