@@ -45,6 +45,8 @@ var apiGolden = []string{
 	"EncodeImageParallel",
 	"ErrCircuitOpen",
 	"ErrMemtapDegraded",
+	"FleetConfig",
+	"FleetResult",
 	"FullOnly",
 	"FulltoPartial",
 	"GenerateTrace",
@@ -80,6 +82,7 @@ var apiGolden = []string{
 	"PFN",
 	"PageSize",
 	"Pager",
+	"ParseScenario",
 	"PartialVM",
 	"Policy",
 	"PowerProfile",
@@ -87,6 +90,9 @@ var apiGolden = []string{
 	"ResilienceStats",
 	"ResilientMemClient",
 	"SampleWorkingSet",
+	"Scenario",
+	"ScenarioByName",
+	"ScenarioNames",
 	"ServeMetrics",
 	"ShardClient",
 	"ShardConfig",
@@ -96,9 +102,13 @@ var apiGolden = []string{
 	"Simulate",
 	"SimulateContinuous",
 	"SimulateN",
+	"SimulateFleet",
 	"SimulateWeek",
 	"SplitSnapshot",
+	"StreamTrace",
 	"TraceSet",
+	"TraceStream",
+	"TraceUserDay",
 	"Transport",
 	"UploadOptions",
 	"UserDay",

@@ -40,16 +40,24 @@ func main() {
 	opt := experiments.Option{Seed: *seed, Runs: *runs, Quick: *quick}
 
 	if *jsonOut != "" {
-		// -experiment selects which transport benchmark the JSON carries:
-		// "detach" for the upload pipeline, "shard" for the sharded
-		// fabric, anything else (including the default "all") keeps the
-		// original reattach benchmark.
+		// -experiment selects which benchmark the JSON carries: "detach"
+		// for the upload pipeline, "shard" for the sharded fabric, "sim"
+		// for the million-user fleet simulator, anything else (including
+		// the default "all") keeps the original reattach benchmark.
 		var (
 			bench   any
 			speedup float64
 			err     error
 		)
 		switch strings.ToLower(*experiment) {
+		case "sim":
+			var b experiments.FleetBench
+			b, err = experiments.Fleet(opt)
+			if err == nil && len(b.WorkerRuns) > 1 {
+				bench, speedup = b, b.WorkerRuns[0].ElapsedSec/b.WorkerRuns[len(b.WorkerRuns)-1].ElapsedSec
+			} else {
+				bench = b
+			}
 		case "detach":
 			var b experiments.DetachBench
 			b, err = experiments.Detach(opt)

@@ -1,9 +1,15 @@
 // Command oasis-sim runs one trace-driven Oasis cluster-day simulation
-// (§5) and prints the energy outcome and day series.
+// (§5) and prints the energy outcome and day series. With -scenario or
+// -users it instead runs a fleet of independent cells through the
+// deterministic parallel simulator and prints the merged result plus its
+// bit-identity fingerprint.
 //
-// Example:
+// Examples:
 //
 //	oasis-sim -policy FulltoPartial -home 30 -cons 4 -vms 30 -kind weekday
+//	oasis-sim -scenario list
+//	oasis-sim -scenario flash-crowd,users=90000 -simworkers 8
+//	oasis-sim -users 1000000 -simworkers 8
 package main
 
 import (
@@ -48,6 +54,10 @@ func main() {
 		msMTBF = flag.Duration("ms-mtbf", 0, "inject memory-server outages with this mean time between failures per serving server (0 disables)")
 		shards = flag.Int("shards", 0, "model a sharded memory-server fabric with this many backends (<=1 keeps the single host-local server)")
 
+		scenarioSpec = flag.String("scenario", "", "run a fleet scenario: name[,key=value,...] ('list' prints the library); see README")
+		users        = flag.Int("users", 0, "fleet mode: total simulated users, sharded into independent cells (0 keeps the single-cluster mode unless -scenario is given)")
+		simWorkers   = flag.Int("simworkers", 0, "fleet mode: cells simulated concurrently (<=0 means GOMAXPROCS; results are bit-identical at any worker count)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /traces and /debug/pprof on this address while the simulation runs (empty disables); see OBSERVABILITY.md")
 	)
 	// The transport knobs come from the shared binding (-prefetch-streams
@@ -71,6 +81,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *scenarioSpec == "list" {
+		for _, name := range oasis.ScenarioNames() {
+			s, _ := oasis.ScenarioByName(name)
+			fmt.Printf("%-20s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+	if *scenarioSpec != "" || *users > 0 {
+		runFleet(*scenarioSpec, *users, *simWorkers, pol, *kind, *seed,
+			*home, *cons, *vms, *series)
+		return
+	}
+
 	cfg := oasis.DefaultSimConfig()
 	cfg.Cluster.Policy = pol
 	cfg.Cluster.HomeHosts = *home
@@ -147,6 +171,85 @@ func main() {
 		fmt.Printf("last %d manager decisions:\n", len(r.Events))
 		for _, e := range r.Events {
 			fmt.Println("  " + e.String())
+		}
+	}
+}
+
+// runFleet is the -scenario / -users path: a fleet of independent cells
+// through the deterministic parallel simulator. Single-cluster flags
+// (policy, home, cons, vms, seed, kind) override the scenario's cell
+// template only when given explicitly on the command line, so a bare
+// `-scenario flash-crowd` runs the library's defaults.
+func runFleet(spec string, users, workers int, pol oasis.Policy, kind string, seed uint64, home, cons, vms int, series bool) {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var fc oasis.FleetConfig
+	if spec != "" {
+		s, err := oasis.ParseScenario(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario %s: %s\n", s.Name, s.Description)
+		fc = s.Fleet
+	} else {
+		fc = oasis.FleetConfig{Cell: oasis.DefaultClusterConfig(), Kind: oasis.Weekday, Seed: seed}
+	}
+	if explicit["policy"] {
+		fc.Cell.Policy = pol
+	}
+	if explicit["home"] {
+		fc.Cell.HomeHosts = home
+	}
+	if explicit["cons"] {
+		fc.Cell.ConsHosts = cons
+	}
+	if explicit["vms"] {
+		fc.Cell.VMsPerHost = vms
+	}
+	if explicit["seed"] {
+		fc.Seed = seed
+	}
+	if explicit["kind"] {
+		fc.Kind = oasis.Weekday
+		if strings.ToLower(kind) == "weekend" {
+			fc.Kind = oasis.Weekend
+		}
+	}
+	if users > 0 {
+		fc.Users = users
+	}
+	if workers != 0 {
+		fc.Workers = workers
+	}
+
+	res, err := oasis.SimulateFleet(fc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %d users in %d cells of %d, %d workers, %v, seed %d:\n",
+		res.Users, res.Cells, fc.UsersPerCell(), res.Workers, res.Kind, fc.Seed)
+	fmt.Printf("  baseline: %.1f kWh   oasis: %.1f kWh   savings: %.1f%%\n",
+		float64(res.BaselineMicroJ)/1e6/3.6e6, float64(res.OasisMicroJ)/1e6/3.6e6, res.SavingsPct)
+	fmt.Printf("  peak active VMs: %d   availability: %.5f%%   outages: %d\n",
+		res.PeakActive, 100*res.Availability, res.Digest.MemServerOutages)
+	fmt.Printf("  fingerprint: %#x   elapsed: %v\n", res.Fingerprint(), res.Elapsed)
+	// The final statistics come straight from the live registry — the
+	// same oasis_sim_fleet_* values a -metrics-addr scrape shows mid-run,
+	// so the CLI summary cannot drift from the exposition.
+	fmt.Println("  fleet statistics (oasis_sim_fleet_* from the live registry):")
+	if err := oasis.WriteMetricsText(os.Stdout, "oasis_sim_fleet_"); err != nil {
+		log.Fatal(err)
+	}
+	if series {
+		fmt.Printf("%-6s %12s %14s\n", "hour", "active VMs", "powered hosts")
+		for h := 0; h < 24; h++ {
+			var act, pow int64
+			for i := h * 12; i < (h+1)*12; i++ {
+				act += res.ActiveSeries[i]
+				pow += res.PoweredSeries[i]
+			}
+			fmt.Printf("%-6d %12.0f %14.1f\n", h, float64(act)/12, float64(pow)/12)
 		}
 	}
 }

@@ -1,20 +1,29 @@
 // Command tracegen generates and inspects synthetic user-activity traces
-// in the format the §5 evaluation consumes.
+// in the format the §5 evaluation consumes. Generation streams: each
+// user-day is synthesised from (seed, user index) on demand and written
+// out, so corpus size is bounded by the output file, not memory, and the
+// output is bit-identical to the materializing API at the same seed.
 //
 // Examples:
 //
 //	tracegen -n 900 -kind weekday > weekday.trace
+//	tracegen -n 1000000 -kind weekday > million.trace
 //	tracegen -inspect weekday.trace
+//	tracegen -user 418 -seed 42            # just user 418's day
+//	tracegen -n 900 -rotate -96 > utc-8.trace
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
 
 	"oasis"
+	"oasis/internal/rng"
 	"oasis/internal/trace"
 )
 
@@ -23,6 +32,8 @@ func main() {
 		n       = flag.Int("n", 900, "user-days to generate")
 		kind    = flag.String("kind", "weekday", "weekday|weekend")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		user    = flag.Int("user", -1, "generate only this user's day (reproducible independently of every other user)")
+		rotate  = flag.Int("rotate", 0, "rotate each day by this many 5-minute intervals, wrapping midnight (timezone shift; +96 = UTC+8)")
 		inspect = flag.String("inspect", "", "trace file to summarise instead of generating")
 	)
 	flag.Parse()
@@ -45,10 +56,65 @@ func main() {
 	if strings.ToLower(*kind) == "weekend" {
 		k = oasis.Weekend
 	}
-	set := oasis.GenerateTrace(k, *n, *seed)
-	if err := set.Write(os.Stdout); err != nil {
+	// The corpus base seed is drawn the way the materializing generator
+	// draws it, so streamed output matches oasis.GenerateTrace(k, n, seed)
+	// byte for byte.
+	base := rng.New(*seed).Uint64()
+
+	if *user >= 0 {
+		// One user's day as a valid single-day trace file.
+		d := oasis.TraceUserDay(k, base, uint64(*user)).Rotate(*rotate)
+		w := bufio.NewWriter(os.Stdout)
+		fmt.Fprintf(w, "# oasis-trace v1 days=1\n")
+		writeDay(w, &d)
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if err := writeStream(os.Stdout, oasis.StreamTrace(k, *n, base), *n, *rotate); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeStream serialises a streamed corpus without ever materializing
+// it: header, then one line per user-day as each is generated.
+func writeStream(out io.Writer, s *oasis.TraceStream, n, rotate int) error {
+	w := bufio.NewWriter(out)
+	if _, err := fmt.Fprintf(w, "# oasis-trace v1 days=%d\n", n); err != nil {
+		return err
+	}
+	for {
+		d, ok := s.Next()
+		if !ok {
+			break
+		}
+		if rotate != 0 {
+			d = d.Rotate(rotate)
+		}
+		if err := writeDay(w, &d); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// writeDay emits one user-day in the interchange format ("W 0101...").
+func writeDay(w *bufio.Writer, d *oasis.UserDay) error {
+	if d.Kind == oasis.Weekend {
+		w.WriteString("E ")
+	} else {
+		w.WriteString("W ")
+	}
+	for _, a := range d.Active {
+		if a {
+			w.WriteByte('1')
+		} else {
+			w.WriteByte('0')
+		}
+	}
+	return w.WriteByte('\n')
 }
 
 func summarise(set *trace.Set) {

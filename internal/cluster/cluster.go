@@ -171,6 +171,32 @@ type Config struct {
 	// dedicated RNG, so enabling them does not perturb the placement
 	// decisions of a same-seed fault-free run.
 	MemServerMTBF time.Duration
+
+	// OutageAt and OutageFrac inject one correlated failure burst (a rack
+	// PDU trip, a bad firmware push): at the first tick at or after
+	// OutageAt, OutageFrac of the currently *serving* memory servers fail
+	// simultaneously. Selection hashes (Seed, host ID), so it is
+	// deterministic and independent of host iteration order. Zero either
+	// field to disable. Independent random outages (MemServerMTBF) may be
+	// layered on top.
+	OutageAt   time.Duration
+	OutageFrac float64
+
+	// WorkingSetScale multiplies every sampled idle working set
+	// (initial placement and per-episode resamples). 0 or 1 keeps the
+	// paper's Jettison distribution bit-identically; the
+	// heterogeneous-memory-tier ablation uses >1 to model consolidation
+	// backed by a slower, larger tier that must hold more resident state.
+	WorkingSetScale float64
+
+	// NoTelemetry disables the per-Tick oasis_sim_* gauge mirror. The
+	// parallel fleet simulator sets it for worker cells: hundreds of
+	// concurrent clusters publishing to the same process-global gauges
+	// would fight over last-write-wins values that describe no cluster
+	// in particular; the fleet layer publishes merged aggregates
+	// instead. Publishing is observation-only either way — results are
+	// bit-identical with telemetry on or off.
+	NoTelemetry bool
 }
 
 // DefaultConfig returns the §5.1 simulation configuration.
@@ -242,6 +268,10 @@ type Cluster struct {
 
 	// events is the bounded decision log (see Events).
 	events []Event
+
+	// outageFired latches the one-shot correlated outage burst
+	// (Config.OutageAt) once it has happened.
+	outageFired bool
 
 	// tel mirrors Stats into live oasis_sim_* gauges every Tick; see
 	// telemetry.go. Lazily created so zero-value-ish test clusters work.
@@ -315,7 +345,7 @@ func New(sim *simtime.Simulator, cfg Config) (*Cluster, error) {
 				Alloc:      cfg.VMAlloc,
 				VCPUs:      1,
 				Home:       hi,
-				WorkingSet: workload.SampleWorkingSetFor(c.rand, class),
+				WorkingSet: c.sampleWS(class),
 			}
 			id++
 			if err := c.Hosts[hi].AddVM(v); err != nil {
@@ -334,6 +364,22 @@ func New(sim *simtime.Simulator, cfg Config) (*Cluster, error) {
 	}
 	sim.RunUntil(sim.Now().Add(cfg.Profile.SuspendTime))
 	return c, nil
+}
+
+// sampleWS draws an idle working set for a VM of the given class,
+// applying the configured ablation scale (see Config.WorkingSetScale).
+func (c *Cluster) sampleWS(class vm.Class) units.Bytes {
+	ws := workload.SampleWorkingSetFor(c.rand, class)
+	if s := c.Cfg.WorkingSetScale; s > 0 && s != 1 {
+		ws = units.Bytes(float64(ws) * s)
+		if ws < 16*units.MiB {
+			ws = 16 * units.MiB
+		}
+		if ws > c.Cfg.VMAlloc {
+			ws = c.Cfg.VMAlloc
+		}
+	}
+	return ws
 }
 
 // homeHosts returns the compute hosts.

@@ -1,5 +1,11 @@
 package cluster
 
+import (
+	"oasis/internal/host"
+	"oasis/internal/rng"
+	"oasis/internal/simtime"
+)
+
 // Fault injection at the cluster-model level: memory-server outages and
 // the §4.4.4 degradation ladder's last rung, forced promotion. The
 // functional layer (internal/memserver, internal/memtap, internal/agent)
@@ -38,38 +44,70 @@ func (c *Cluster) injectMemServerOutages() {
 		if !h.MemServerOn() || !c.faultRand.Bool(p) {
 			continue
 		}
-		c.Stats.MemServerOutages++
-		c.event(EvMemServerFail, h.ID, 0, "")
+		c.failMemServer(h)
+	}
+}
 
-		// Every partial VM homed here is stranded. Account the degrade
-		// and the recovery latency each will experience (a reintegration
-		// off the consolidation host's DRAM; the failed server plays no
-		// part in it).
-		stranded := 0
-		for _, v := range c.VMs {
-			if v.Home != h.ID || !v.Partial {
-				continue
-			}
-			stranded++
-			c.Stats.DegradedVMs++
-			op := c.Cfg.Model.Reintegration(c.reintegrateDirty(c.meta[v.ID]))
-			c.Stats.OutageRecovery.Add(op.Latency.Seconds())
-			c.event(EvForcePromote, v.Host, v.ID, "memory server lost")
+// injectCorrelatedOutage fires the Config.OutageAt/OutageFrac burst: the
+// first tick at or after OutageAt fails OutageFrac of the serving
+// memory servers in one stroke. Selection hashes (Seed, host ID) into
+// [0,1) — no RNG stream is consumed and no iteration-order dependence
+// exists, so the burst neither perturbs a same-seed run's placement
+// sequence nor varies across runs.
+func (c *Cluster) injectCorrelatedOutage() {
+	if c.Cfg.OutageFrac <= 0 || c.Cfg.OutageAt <= 0 || c.outageFired {
+		return
+	}
+	if c.Sim.Now() < simtime.Time(c.Cfg.OutageAt) {
+		return
+	}
+	c.outageFired = true
+	for _, h := range c.homeHosts() {
+		if !h.MemServerOn() {
+			continue
 		}
-		if stranded > 0 {
-			c.Stats.ForcedPromotions += int64(stranded)
-			// The ladder's last rung reuses the manager's bulk-return
-			// machinery: wake the home, reintegrate everything it owns.
-			c.wakeHomeAndReturnAll(h)
+		roll := float64(rng.Mix64(c.Cfg.Seed^0xc0a1, uint64(h.ID))>>11) / (1 << 53)
+		if roll >= c.Cfg.OutageFrac {
+			continue
 		}
-		// The server's images died with it: invalidate the differential
-		// upload state of every VM homed here.
-		for _, v := range c.VMs {
-			if v.Home == h.ID {
-				m := c.meta[v.ID]
-				m.uploaded = false
-				m.dirtySinceUpload = 0
-			}
+		c.failMemServer(h)
+	}
+}
+
+// failMemServer kills one serving memory server and walks the §4.4.4
+// degradation ladder for everything it stranded.
+func (c *Cluster) failMemServer(h *host.Host) {
+	c.Stats.MemServerOutages++
+	c.event(EvMemServerFail, h.ID, 0, "")
+
+	// Every partial VM homed here is stranded. Account the degrade
+	// and the recovery latency each will experience (a reintegration
+	// off the consolidation host's DRAM; the failed server plays no
+	// part in it).
+	stranded := 0
+	for _, v := range c.VMs {
+		if v.Home != h.ID || !v.Partial {
+			continue
+		}
+		stranded++
+		c.Stats.DegradedVMs++
+		op := c.Cfg.Model.Reintegration(c.reintegrateDirty(c.meta[v.ID]))
+		c.Stats.OutageRecovery.Add(op.Latency.Seconds())
+		c.event(EvForcePromote, v.Host, v.ID, "memory server lost")
+	}
+	if stranded > 0 {
+		c.Stats.ForcedPromotions += int64(stranded)
+		// The ladder's last rung reuses the manager's bulk-return
+		// machinery: wake the home, reintegrate everything it owns.
+		c.wakeHomeAndReturnAll(h)
+	}
+	// The server's images died with it: invalidate the differential
+	// upload state of every VM homed here.
+	for _, v := range c.VMs {
+		if v.Home == h.ID {
+			m := c.meta[v.ID]
+			m.uploaded = false
+			m.dirtySinceUpload = 0
 		}
 	}
 }

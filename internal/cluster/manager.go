@@ -10,7 +10,6 @@ import (
 	"oasis/internal/power"
 	"oasis/internal/units"
 	"oasis/internal/vm"
-	"oasis/internal/workload"
 )
 
 // Tick advances the manager by one planning interval (§3.1: "The cluster
@@ -31,7 +30,10 @@ func (c *Cluster) Tick(active []bool) error {
 	// 1b. Inject memory-server outages (no-op unless configured) and walk
 	// the degradation ladder for the partial VMs they strand. This runs
 	// before activity transitions: a VM whose server died is promoted
-	// home as a full VM, so a simultaneous activation sees it full.
+	// home as a full VM, so a simultaneous activation sees it full. The
+	// correlated burst (rack-scale event) fires before the independent
+	// MTBF rolls so the burst always sees the pre-tick serving set.
+	c.injectCorrelatedOutage()
 	c.injectMemServerOutages()
 
 	// 2. Apply activity transitions. Activations first: they may trigger
@@ -50,7 +52,7 @@ func (c *Cluster) Tick(active []bool) error {
 			// The VM is full right now, so its charged footprint is
 			// unaffected until it is partially migrated.
 			if !v.Partial {
-				v.WorkingSet = workload.SampleWorkingSetFor(c.rand, v.Class)
+				v.WorkingSet = c.sampleWS(v.Class)
 			}
 			wentIdle = append(wentIdle, v)
 		}
@@ -87,8 +89,11 @@ func (c *Cluster) Tick(active []bool) error {
 	}
 
 	// 9. Mirror cumulative stats into the live oasis_sim_* gauges
-	// (observation only; never feeds back into the simulation).
-	c.publishTelemetry()
+	// (observation only; never feeds back into the simulation). Fleet
+	// worker cells skip it: see Config.NoTelemetry.
+	if !c.Cfg.NoTelemetry {
+		c.publishTelemetry()
+	}
 	return nil
 }
 

@@ -23,6 +23,7 @@ func Ablations(opt Option) []Report {
 		AblationVacateOrder(opt),
 		AblationHeadroom(opt),
 		AblationPowerModel(opt),
+		AblationConsolidationMemory(opt),
 	}
 }
 

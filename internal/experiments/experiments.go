@@ -114,6 +114,18 @@ func ByID(id string, opt Option) (Report, bool) {
 		return AblationHeadroom(opt), true
 	case "ab-power":
 		return AblationPowerModel(opt), true
+	case "fleet":
+		return FleetReport(opt), true
+	case "scenarios":
+		return ScenariosReport(opt), true
+	case "ab-mem":
+		return AblationConsolidationMemory(opt), true
+	case "sim":
+		// The million-user fleet benchmark (100k under -quick). Not in
+		// IDs(): a minutes-long run must be asked for by name, never
+		// swept up by `-experiment all` or the test that runs every
+		// listed experiment.
+		return FleetBenchReport(opt), true
 	default:
 		return Report{}, false
 	}
@@ -124,5 +136,6 @@ func ByID(id string, opt Option) (Report, bool) {
 func IDs() []string {
 	return []string{"fig1", "fig2", "table1", "fig5", "traffic", "fig6",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table3", "reattach", "detach", "shard", "rebalance",
-		"ab-diff", "ab-lzf", "ab-shared", "ab-elide", "ab-place", "ab-order", "ab-headroom", "ab-power"}
+		"fleet", "scenarios",
+		"ab-diff", "ab-lzf", "ab-shared", "ab-elide", "ab-place", "ab-order", "ab-headroom", "ab-power", "ab-mem"}
 }

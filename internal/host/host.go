@@ -68,6 +68,11 @@ type Host struct {
 
 	vms  map[pagestore.VMID]*vm.VM
 	used units.Bytes
+	// active caches the count of resident active VMs. The power model
+	// reads it on every footprint recharge (fleet-scale runs recharge
+	// hundreds of VMs per tick), so it must not be a map scan; AddVM,
+	// RemoveVM and NoteVMStateChanged keep it exact.
+	active int
 
 	// Transition counters for the evaluation.
 	Suspends int
@@ -154,15 +159,23 @@ func (h *Host) VMs() []*vm.VM {
 // VM returns a resident VM by id, or nil.
 func (h *Host) VM(id pagestore.VMID) *vm.VM { return h.vms[id] }
 
-// ActiveVMs counts resident active VMs.
-func (h *Host) ActiveVMs() int {
+// ActiveVMs counts resident active VMs. O(1): the count is maintained
+// incrementally, because the energy meter re-reads it on every
+// footprint recharge and a map scan here dominated whole-fleet
+// simulation profiles.
+func (h *Host) ActiveVMs() int { return h.active }
+
+// recountActive re-derives the cached active count from resident VM
+// state. Called when a resident VM flips between active and idle — the
+// host cannot see the flip itself, only be told after the fact.
+func (h *Host) recountActive() {
 	n := 0
 	for _, v := range h.vms {
 		if v.Active {
 			n++
 		}
 	}
-	return n
+	h.active = n
 }
 
 // AddVM places a VM on the host, charging its footprint. It fails if the
@@ -180,6 +193,9 @@ func (h *Host) AddVM(v *vm.VM) error {
 	}
 	h.vms[v.ID] = v
 	h.used += need
+	if v.Active {
+		h.active++
+	}
 	v.Host = h.ID
 	h.refreshPower()
 	return nil
@@ -193,6 +209,9 @@ func (h *Host) RemoveVM(id pagestore.VMID) error {
 	}
 	delete(h.vms, id)
 	h.used -= v.Footprint()
+	if v.Active {
+		h.active--
+	}
 	h.refreshPower()
 	return nil
 }
@@ -222,7 +241,10 @@ func (h *Host) refreshPower() {
 
 // NoteVMStateChanged must be called after a resident VM flips between
 // active and idle so the power model tracks the load.
-func (h *Host) NoteVMStateChanged() { h.refreshPower() }
+func (h *Host) NoteVMStateChanged() {
+	h.recountActive()
+	h.refreshPower()
+}
 
 // MemServerOn reports whether the host's low-power memory server is
 // powered.

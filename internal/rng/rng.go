@@ -165,3 +165,20 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 		swap(i, j)
 	}
 }
+
+// Mix64 deterministically combines two 64-bit values into a well-mixed
+// seed via two splitmix64 finalization rounds. It is the substream
+// derivation the fleet simulator and streaming trace generator use: a
+// per-entity seed Mix64(base, index) is reproducible in isolation — no
+// shared generator state — so entity k's stream can be regenerated
+// without touching entities 0..k-1, in any order, from any goroutine.
+func Mix64(a, b uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build.
+// The 100k-user gating check is skipped under the detector: instrumented
+// cells run an order of magnitude slower, and the race step exercises
+// the same worker pool on a small fleet instead.
+const raceEnabled = false

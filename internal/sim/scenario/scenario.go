@@ -1,0 +1,308 @@
+// Package scenario is the named-configuration library of the fleet
+// simulator: reusable, parameterisable fleet setups — a global fleet
+// spread across timezones, a flash crowd, a correlated failure burst,
+// and the memory-management ablations PAPERS.md motivates (ballooning,
+// heterogeneous memory tiers) — selectable by name from oasis-sim
+// (-scenario) and internal/experiments.
+//
+// A scenario spec is "name" or "name,key=value,key=value,...": the name
+// picks the base configuration, keys override its knobs. The grammar is
+// line-oriented and total — Parse returns errors, never panics — and is
+// fuzzed (FuzzScenarioConfig) with a corpus covering every named
+// scenario.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"oasis/internal/cluster"
+	"oasis/internal/sim"
+	"oasis/internal/trace"
+	"oasis/internal/units"
+)
+
+// Scenario is a named fleet configuration.
+type Scenario struct {
+	Name        string
+	Description string
+	Fleet       sim.FleetConfig
+}
+
+// defaultUsers sizes a scenario that was not given users= explicitly:
+// 100 cells of the paper's 900-user racks — big enough that fleet
+// effects (timezone staggering, burst correlation) show, small enough
+// to finish in seconds.
+const defaultUsers = 90_000
+
+// base returns the shared starting point every scenario refines.
+func base(name, desc string) Scenario {
+	return Scenario{
+		Name:        name,
+		Description: desc,
+		Fleet: sim.FleetConfig{
+			Cell:  cluster.DefaultConfig(),
+			Kind:  trace.Weekday,
+			Users: defaultUsers,
+			Seed:  42,
+		},
+	}
+}
+
+// byName builds the named scenarios fresh (no shared mutable state).
+func byName(name string) (Scenario, bool) {
+	switch name {
+	case "global-fleet":
+		s := base(name,
+			"Fleet spread across eight timezones: each cell replays the diurnal day rotated into its zone, so the fleet-wide load never sleeps and consolidation opportunity rolls around the planet.")
+		// UTC-8 x2, UTC-5 x2, UTC x2, UTC+1 x2, UTC+5:30 x1, UTC+8 x2
+		// (offsets in 5-minute intervals).
+		s.Fleet.Zones = []int{-96, -96, -60, -60, 0, 0, 12, 12, 66, 96, 96}
+		return s, true
+	case "flash-crowd":
+		s := base(name,
+			"Product-launch burst: at 14:00 90% of all users go active for one hour on top of their trace, colliding resume storms across every cell at once.")
+		s.Fleet.FlashAt = 14 * 12
+		s.Fleet.FlashLen = 12
+		s.Fleet.FlashFrac = 0.9
+		return s, true
+	case "correlated-failures":
+		s := base(name,
+			"Rack-scale memory-server failure burst at 03:00 — the nightly consolidation maximum — killing half of all serving memory servers in one stroke and forcing mass §4.4.4 promotions.")
+		s.Fleet.Cell.OutageAt = 3 * time.Hour
+		s.Fleet.Cell.OutageFrac = 0.5
+		return s, true
+	case "ballooning":
+		s := base(name,
+			"Ballooning ablation (PAPERS.md): idle VMs are squeezed in place on the consolidation host with no per-host memory server (MemServerW=0); faults page in from local disk at twice the per-page cost, and balloon reinflation pushes back more dirty state (floor 64 MiB, cap 512 MiB).")
+		s.Fleet.Cell.Profile.MemServerW = 0
+		s.Fleet.Cell.Model.FaultServiceTime = 2 * 10200 * time.Microsecond
+		s.Fleet.Cell.ReintegrateDirtyFloor = 64 * units.MiB
+		s.Fleet.Cell.ReintegrateDirtyCap = 512 * units.MiB
+		return s, true
+	case "hmm-tier":
+		s := base(name,
+			"Heterogeneous-memory-tier ablation (HMM-V, PAPERS.md): consolidation backed by a local far-memory tier — page service 4x faster than the Atom memory server, tier power 8 W, but 1.5x the resident working set must stay hot.")
+		s.Fleet.Cell.Model.FaultServiceTime = 10200 * time.Microsecond / 4
+		s.Fleet.Cell.Profile.MemServerW = 8
+		s.Fleet.Cell.WorkingSetScale = 1.5
+		return s, true
+	}
+	return Scenario{}, false
+}
+
+// Names lists the named scenarios, sorted.
+func Names() []string {
+	names := []string{"global-fleet", "flash-crowd", "correlated-failures", "ballooning", "hmm-tier"}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns a named scenario with its default parameters.
+func ByName(name string) (Scenario, bool) { return byName(name) }
+
+// Parse resolves a scenario spec: "name" or "name,key=value,...".
+//
+// Keys: users, workers, seed, kind (weekday|weekend), zones
+// (off:weight|off:weight..., offsets in 5-minute intervals), flash_at
+// (interval), flash_len (intervals), flash_frac, outage_at_min,
+// outage_frac, ws_scale.
+func Parse(spec string) (Scenario, error) {
+	parts := strings.Split(spec, ",")
+	name := strings.TrimSpace(parts[0])
+	s, ok := byName(name)
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown %q; known: %s", name, strings.Join(Names(), ", "))
+	}
+	for _, kv := range parts[1:] {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return Scenario{}, fmt.Errorf("scenario: %q is not key=value", kv)
+		}
+		if err := apply(&s, strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return Scenario{}, err
+		}
+	}
+	if err := Validate(&s.Fleet); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+func apply(s *Scenario, key, val string) error {
+	atoi := func() (int, error) {
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: %s=%q: %v", key, val, err)
+		}
+		return n, nil
+	}
+	atof := func() (float64, error) {
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: %s=%q: %v", key, val, err)
+		}
+		return f, nil
+	}
+	switch key {
+	case "users":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		s.Fleet.Users = n
+	case "workers":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		s.Fleet.Workers = n
+	case "seed":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("scenario: seed=%q: %v", val, err)
+		}
+		s.Fleet.Seed = n
+	case "kind":
+		switch val {
+		case "weekday":
+			s.Fleet.Kind = trace.Weekday
+		case "weekend":
+			s.Fleet.Kind = trace.Weekend
+		default:
+			return fmt.Errorf("scenario: kind=%q, want weekday or weekend", val)
+		}
+	case "zones":
+		zones, err := parseZones(val)
+		if err != nil {
+			return err
+		}
+		s.Fleet.Zones = zones
+	case "flash_at":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		s.Fleet.FlashAt = n
+	case "flash_len":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		s.Fleet.FlashLen = n
+	case "flash_frac":
+		f, err := atof()
+		if err != nil {
+			return err
+		}
+		s.Fleet.FlashFrac = f
+	case "outage_at_min":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		s.Fleet.Cell.OutageAt = time.Duration(n) * time.Minute
+	case "outage_frac":
+		f, err := atof()
+		if err != nil {
+			return err
+		}
+		s.Fleet.Cell.OutageFrac = f
+	case "ws_scale":
+		f, err := atof()
+		if err != nil {
+			return err
+		}
+		s.Fleet.Cell.WorkingSetScale = f
+	default:
+		return fmt.Errorf("scenario: unknown key %q", key)
+	}
+	return nil
+}
+
+// parseZones parses "offset:weight|offset:weight|..." into the expanded
+// zone list the fleet cycles cells through. Offsets are 5-minute
+// intervals ([-288, 288]); weights are repeat counts ([1, 64]).
+func parseZones(val string) ([]int, error) {
+	var zones []int
+	for _, z := range strings.Split(val, "|") {
+		z = strings.TrimSpace(z)
+		if z == "" {
+			continue
+		}
+		offStr, wStr, found := strings.Cut(z, ":")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(strings.TrimSpace(wStr))
+			if err != nil {
+				return nil, fmt.Errorf("scenario: zone weight %q: %v", wStr, err)
+			}
+			weight = w
+		}
+		off, err := strconv.Atoi(strings.TrimSpace(offStr))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: zone offset %q: %v", offStr, err)
+		}
+		if off < -trace.IntervalsPerDay || off > trace.IntervalsPerDay {
+			return nil, fmt.Errorf("scenario: zone offset %d outside [-%d, %d]", off, trace.IntervalsPerDay, trace.IntervalsPerDay)
+		}
+		if weight < 1 || weight > 64 {
+			return nil, fmt.Errorf("scenario: zone weight %d outside [1, 64]", weight)
+		}
+		for i := 0; i < weight; i++ {
+			zones = append(zones, off)
+		}
+	}
+	if len(zones) == 0 {
+		return nil, fmt.Errorf("scenario: zones=%q expands to no zones", val)
+	}
+	return zones, nil
+}
+
+// Validate bounds a fleet configuration to what RunFleet can execute
+// sensibly. Parse calls it on every result, so a parsed scenario is
+// always runnable (resource limits aside).
+func Validate(f *sim.FleetConfig) error {
+	if f.Users <= 0 {
+		return fmt.Errorf("scenario: users must be positive, got %d", f.Users)
+	}
+	if f.Users > 100_000_000 {
+		return fmt.Errorf("scenario: users %d above the 100M ceiling", f.Users)
+	}
+	if f.Workers < 0 || f.Workers > 4096 {
+		return fmt.Errorf("scenario: workers %d outside [0, 4096]", f.Workers)
+	}
+	if f.FlashLen > 0 {
+		if f.FlashAt < 0 || f.FlashAt >= trace.IntervalsPerDay || f.FlashLen > trace.IntervalsPerDay {
+			return fmt.Errorf("scenario: flash window at=%d len=%d outside the day", f.FlashAt, f.FlashLen)
+		}
+	}
+	if f.FlashFrac < 0 || f.FlashFrac > 1 {
+		return fmt.Errorf("scenario: flash_frac %v outside [0, 1]", f.FlashFrac)
+	}
+	if f.Cell.OutageFrac < 0 || f.Cell.OutageFrac > 1 {
+		return fmt.Errorf("scenario: outage_frac %v outside [0, 1]", f.Cell.OutageFrac)
+	}
+	if f.Cell.OutageAt < 0 || f.Cell.OutageAt > 24*time.Hour {
+		return fmt.Errorf("scenario: outage_at %v outside the day", f.Cell.OutageAt)
+	}
+	if ws := f.Cell.WorkingSetScale; ws < 0 || ws > 16 {
+		return fmt.Errorf("scenario: ws_scale %v outside [0, 16]", ws)
+	}
+	for _, z := range f.Zones {
+		if z < -trace.IntervalsPerDay || z > trace.IntervalsPerDay {
+			return fmt.Errorf("scenario: zone offset %d outside the day", z)
+		}
+	}
+	if len(f.Zones) > 4096 {
+		return fmt.Errorf("scenario: %d zones above the 4096 ceiling", len(f.Zones))
+	}
+	return nil
+}

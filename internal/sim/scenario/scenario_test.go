@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"oasis/internal/sim"
+	"oasis/internal/trace"
+)
+
+// TestNamedScenariosResolveAndRun parses every named scenario, shrinks
+// it to a 2-cell fleet, and actually runs it — the library must hand
+// RunFleet nothing it chokes on.
+func TestNamedScenariosResolveAndRun(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Parse(name + ",users=64,workers=2")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name || s.Description == "" {
+			t.Fatalf("%s: bad identity %q / %q", name, s.Name, s.Description)
+		}
+		// Shrink the cell so 64 users is 2 cells.
+		s.Fleet.Cell.HomeHosts = 4
+		s.Fleet.Cell.ConsHosts = 2
+		s.Fleet.Cell.VMsPerHost = 8
+		res, err := sim.RunFleet(s.Fleet)
+		if err != nil {
+			t.Fatalf("%s: RunFleet: %v", name, err)
+		}
+		if res.Cells != 2 {
+			t.Fatalf("%s: %d cells, want 2", name, res.Cells)
+		}
+		if res.SavingsPct <= 0 || res.SavingsPct >= 100 {
+			t.Errorf("%s: savings %.1f%% implausible", name, res.SavingsPct)
+		}
+	}
+}
+
+// TestParseOverrides checks the key=value grammar end to end.
+func TestParseOverrides(t *testing.T) {
+	s, err := Parse("flash-crowd, users=1800, workers=4, seed=7, kind=weekend, flash_at=100, flash_len=6, flash_frac=0.5, zones=-96:2|0:1|96:1, outage_at_min=180, outage_frac=0.25, ws_scale=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Fleet
+	if f.Users != 1800 || f.Workers != 4 || f.Seed != 7 || f.Kind != trace.Weekend {
+		t.Errorf("sizing overrides lost: %+v", f)
+	}
+	if f.FlashAt != 100 || f.FlashLen != 6 || f.FlashFrac != 0.5 {
+		t.Errorf("flash overrides lost: %+v", f)
+	}
+	wantZones := []int{-96, -96, 0, 96}
+	if len(f.Zones) != len(wantZones) {
+		t.Fatalf("zones = %v, want %v", f.Zones, wantZones)
+	}
+	for i, z := range wantZones {
+		if f.Zones[i] != z {
+			t.Fatalf("zones = %v, want %v", f.Zones, wantZones)
+		}
+	}
+	if f.Cell.OutageAt != 3*time.Hour || f.Cell.OutageFrac != 0.25 {
+		t.Errorf("outage overrides lost: %v %v", f.Cell.OutageAt, f.Cell.OutageFrac)
+	}
+	if f.Cell.WorkingSetScale != 2 {
+		t.Errorf("ws_scale override lost: %v", f.Cell.WorkingSetScale)
+	}
+}
+
+// TestParseRejects checks the grammar's failure modes return errors (not
+// panics, not silent acceptance).
+func TestParseRejects(t *testing.T) {
+	cases := []string{
+		"",                                       // no name
+		"unknown-scenario",                       // unknown name
+		"flash-crowd,users",                      // not key=value
+		"flash-crowd,users=x",                    // bad int
+		"flash-crowd,users=0",                    // non-positive
+		"flash-crowd,users=200000000",            // above ceiling
+		"flash-crowd,kind=holiday",               // bad kind
+		"flash-crowd,flash_frac=1.5",             // out of range
+		"flash-crowd,flash_at=400",               // outside day
+		"global-fleet,zones=",                    // empty zones
+		"global-fleet,zones=999:1",               // offset outside day
+		"global-fleet,zones=0:100",               // weight above cap
+		"correlated-failures,outage_frac=-1",     // negative
+		"correlated-failures,outage_at_min=2000", // past day end
+		"hmm-tier,ws_scale=99",                   // above cap
+		"flash-crowd,mystery=1",                  // unknown key
+	}
+	for _, spec := range cases {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+// FuzzScenarioConfig fuzzes the spec grammar: Parse must never panic,
+// and anything it accepts must validate and carry the scenario name it
+// was asked for.
+func FuzzScenarioConfig(f *testing.F) {
+	// Seed corpus: every named scenario bare and with representative
+	// overrides, plus grammar edge cases.
+	for _, name := range Names() {
+		f.Add(name)
+		f.Add(name + ",users=900,workers=2,seed=1")
+	}
+	f.Add("global-fleet,zones=-96:2|0:3|96:2,kind=weekend")
+	f.Add("flash-crowd,flash_at=168,flash_len=12,flash_frac=0.9")
+	f.Add("correlated-failures,outage_at_min=180,outage_frac=0.5")
+	f.Add("ballooning,ws_scale=0.5")
+	f.Add("hmm-tier,ws_scale=1.5,users=90000")
+	f.Add("")
+	f.Add(",,,")
+	f.Add("flash-crowd,users=-1")
+	f.Add("global-fleet,zones=0:0")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := Validate(&s.Fleet); err != nil {
+			t.Fatalf("Parse(%q) accepted a config Validate rejects: %v", spec, err)
+		}
+		wantName := strings.TrimSpace(strings.Split(spec, ",")[0])
+		if s.Name != wantName {
+			t.Fatalf("Parse(%q) resolved name %q", spec, s.Name)
+		}
+		if _, ok := ByName(s.Name); !ok {
+			t.Fatalf("Parse(%q) resolved unknown scenario %q", spec, s.Name)
+		}
+	})
+}

@@ -166,6 +166,23 @@ func (s *Simulator) Run() {
 	}
 }
 
+// Fingerprint reduces the simulator's history to one well-mixed uint64:
+// the clock, the scheduling sequence counter, and the fired-event count,
+// splitmix64-finalised. Two runs that scheduled or fired even one event
+// differently fingerprint differently with overwhelming probability, so
+// the cluster digest can fold this in as a cheap proof that not just the
+// outputs but the event history of two runs matched.
+func (s *Simulator) Fingerprint() uint64 {
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	f := mix(uint64(s.now) + 0x9e3779b97f4a7c15)
+	f = mix(f ^ s.seq)
+	return mix(f ^ s.Processed)
+}
+
 // RunUntil fires events with instants <= end, then advances the clock to
 // end. Events scheduled beyond end remain queued.
 func (s *Simulator) RunUntil(end Time) {

@@ -157,11 +157,21 @@ func GenerateUserDay(kind DayKind, r *rng.Rand) UserDay {
 	return d
 }
 
-// Generate synthesises a corpus of n user-days of the given kind.
+// Generate synthesises a corpus of n user-days of the given kind. It
+// draws one base seed from r and derives each user-day from (base, user
+// index) — see stream.go — so the materialized slice is bit-identical
+// to streaming the same corpus, and any one user's day can be
+// regenerated without the others.
 func Generate(kind DayKind, n int, r *rng.Rand) []UserDay {
+	return GenerateSeeded(kind, n, r.Uint64())
+}
+
+// GenerateSeeded synthesises a corpus of n user-days directly from a
+// base seed, user i drawn from rng.New(UserSeed(base, i)).
+func GenerateSeeded(kind DayKind, n int, base uint64) []UserDay {
 	out := make([]UserDay, n)
 	for i := range out {
-		out[i] = GenerateUserDay(kind, r)
+		out[i] = UserDayAt(base, uint64(i), kind)
 	}
 	return out
 }

@@ -13,6 +13,7 @@ import (
 	"oasis/internal/power"
 	"oasis/internal/rng"
 	"oasis/internal/sim"
+	"oasis/internal/sim/scenario"
 	"oasis/internal/simtime"
 	"oasis/internal/telemetry"
 	"oasis/internal/trace"
@@ -130,6 +131,38 @@ type ContinuousResult = sim.ContinuousResult
 func SimulateContinuous(cfg SimConfig, days []DayKind) (*ContinuousResult, error) {
 	return sim.RunContinuous(cfg, days)
 }
+
+// ---- Fleet-scale simulation and the scenario library ----
+
+// FleetConfig describes a fleet run: total users sharded into
+// independent cells (racks), worker parallelism, timezone spread, and
+// fleet-wide events (flash crowd, correlated failures).
+type FleetConfig = sim.FleetConfig
+
+// FleetResult is the deterministic merge of every cell's day. Its
+// Fingerprint method is the bit-identity proof: equal across worker
+// counts at a fixed seed.
+type FleetResult = sim.FleetResult
+
+// SimulateFleet runs cfg.Users users for one simulated day, sharded by
+// cell across cfg.Workers goroutines, and merges the results
+// deterministically (bit-identical to the serial Workers=1 path).
+func SimulateFleet(cfg FleetConfig) (*FleetResult, error) { return sim.RunFleet(cfg) }
+
+// Scenario is a named fleet configuration from the scenario library
+// (global-fleet, flash-crowd, correlated-failures, ballooning,
+// hmm-tier).
+type Scenario = scenario.Scenario
+
+// ParseScenario resolves a scenario spec: "name" or
+// "name,key=value,...". The result is validated and runnable.
+func ParseScenario(spec string) (Scenario, error) { return scenario.Parse(spec) }
+
+// ScenarioByName returns a named scenario with its default parameters.
+func ScenarioByName(name string) (Scenario, bool) { return scenario.ByName(name) }
+
+// ScenarioNames lists the scenario library, sorted.
+func ScenarioNames() []string { return scenario.Names() }
 
 // ---- Power (Table 1) ----
 
@@ -409,4 +442,21 @@ type TraceSet = trace.Set
 // simultaneous activity, quiet weekends).
 func GenerateTrace(kind DayKind, n int, seed uint64) *TraceSet {
 	return trace.GenerateSet(kind, n, rng.New(seed))
+}
+
+// TraceStream yields the user-days of a seeded corpus one at a time in
+// O(1) memory — the streaming form of GenerateTrace, bit-identical to
+// the materialized set at the same base seed.
+type TraceStream = trace.Stream
+
+// StreamTrace returns an iterator over n user-days derived from base.
+func StreamTrace(kind DayKind, n int, base uint64) *TraceStream {
+	return trace.NewStream(kind, n, base)
+}
+
+// TraceUserDay synthesises one user's day from a corpus base seed,
+// independent of every other user — any user's day is reproducible
+// without generating the users before it.
+func TraceUserDay(kind DayKind, base, user uint64) UserDay {
+	return trace.UserDayAt(base, user, kind)
 }
