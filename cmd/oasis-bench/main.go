@@ -42,8 +42,9 @@ func main() {
 	if *jsonOut != "" {
 		// -experiment selects which benchmark the JSON carries: "detach"
 		// for the upload pipeline, "shard" for the sharded fabric, "sim"
-		// for the million-user fleet simulator, anything else (including
-		// the default "all") keeps the original reattach benchmark.
+		// for the million-user fleet simulator, "cluster" for the
+		// control-plane stress benchmark, anything else (including the
+		// default "all") keeps the original reattach benchmark.
 		var (
 			bench   any
 			speedup float64
@@ -58,6 +59,10 @@ func main() {
 			} else {
 				bench = b
 			}
+		case "cluster":
+			var b experiments.ClusterBench
+			b, err = experiments.ClusterStress(opt)
+			bench, speedup = b, b.MeasuredGate.Ratio
 		case "detach":
 			var b experiments.DetachBench
 			b, err = experiments.Detach(opt)

@@ -205,11 +205,7 @@ func (a *Agent) handleFabricStatus(json.RawMessage) (any, error) {
 // FabricAddBackend orders a host agent to add a memory-server backend
 // to its fabric(s), rebalancing only the ranges whose placement moved.
 func (m *Manager) FabricAddBackend(hostName, backend string, wait bool) error {
-	h, err := m.host(hostName)
-	if err != nil {
-		return err
-	}
-	return h.client.Call("Agent.FabricAddBackend", FabricBackendArgs{Addr: backend, Wait: wait}, nil)
+	return m.call(hostName, "Agent.FabricAddBackend", FabricBackendArgs{Addr: backend, Wait: wait}, nil)
 }
 
 // FabricRemoveBackend orders a host agent to drain a backend out of its
@@ -217,23 +213,15 @@ func (m *Manager) FabricAddBackend(hostName, backend string, wait bool) error {
 // re-replicated before the backend may be powered off (wait=true blocks
 // until that has happened).
 func (m *Manager) FabricRemoveBackend(hostName, backend string, wait bool) error {
-	h, err := m.host(hostName)
-	if err != nil {
-		return err
-	}
-	return h.client.Call("Agent.FabricRemoveBackend", FabricBackendArgs{Addr: backend, Wait: wait}, nil)
+	return m.call(hostName, "Agent.FabricRemoveBackend", FabricBackendArgs{Addr: backend, Wait: wait}, nil)
 }
 
 // FabricStatus fetches a host agent's fabric health: ring epoch,
 // per-backend breaker/hint state, rebalance progress, under-replicated
 // range count.
 func (m *Manager) FabricStatus(hostName string) (FabricStatusReply, error) {
-	h, err := m.host(hostName)
-	if err != nil {
-		return FabricStatusReply{}, err
-	}
 	var reply FabricStatusReply
-	if err := h.client.Call("Agent.FabricStatus", nil, &reply); err != nil {
+	if err := m.call(hostName, "Agent.FabricStatus", nil, &reply); err != nil {
 		return FabricStatusReply{}, err
 	}
 	return reply, nil

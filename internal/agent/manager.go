@@ -3,8 +3,7 @@ package agent
 import (
 	"encoding/base64"
 	"fmt"
-	"sort"
-	"sync"
+	"time"
 
 	"oasis/internal/pagestore"
 	"oasis/internal/wire"
@@ -13,20 +12,37 @@ import (
 // Manager is the functional cluster manager of §4.1: it owns the host
 // roster, creates VMs on hosts with room, and orders migrations and power
 // transitions through the host agents' RPC interfaces.
+//
+// It is built from two layers (DESIGN.md §15): a sharded host registry
+// with cached, epoch-stamped host stats (registry.go — the state store),
+// and a batched asynchronous RPC fan-out with bounded concurrency and
+// per-host single-flight stats refresh (actuate.go — the actuation
+// layer). Fleet-wide decisions (CreateVM, DegradedVMs) cost one parallel
+// sweep instead of one synchronous RPC per host, and concurrent
+// decisions share in-flight refreshes instead of stampeding the agents.
 type Manager struct {
-	mu    sync.Mutex
-	hosts map[string]*hostEntry
-}
+	reg *registry
 
-type hostEntry struct {
-	name   string
-	addr   string
-	client *wire.Client
+	// fanLimit bounds one fan-out's concurrent RPCs; 0 means
+	// defaultFanOut.
+	fanLimit int
 }
 
 // NewManager returns an empty manager.
 func NewManager() *Manager {
-	return &Manager{hosts: make(map[string]*hostEntry)}
+	return &Manager{reg: newRegistry()}
+}
+
+// SetFanOutLimit bounds the concurrent RPCs of fleet-wide sweeps
+// (CreateVM's placement scan, DegradedVMs); n <= 0 restores the
+// default. Call before concurrent use.
+func (m *Manager) SetFanOutLimit(n int) { m.fanLimit = n }
+
+func (m *Manager) fanOutLimit() int {
+	if m.fanLimit > 0 {
+		return m.fanLimit
+	}
+	return defaultFanOut
 }
 
 // AddHost registers a host agent by RPC address.
@@ -35,121 +51,148 @@ func (m *Manager) AddHost(name, addr string) error {
 	if err != nil {
 		return fmt.Errorf("manager: add host %s: %w", name, err)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.hosts[name]; ok {
+	e := &hostEntry{name: name, addr: addr, client: c}
+	err = m.reg.do(func() error { return m.reg.add(e) })
+	if err != nil {
 		c.Close()
-		return fmt.Errorf("manager: host %s already registered", name)
+		return err
 	}
-	m.hosts[name] = &hostEntry{name: name, addr: addr, client: c}
 	return nil
 }
 
-// Close releases all agent connections.
-func (m *Manager) Close() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, h := range m.hosts {
-		h.client.Close()
-	}
-	m.hosts = map[string]*hostEntry{}
-}
-
-func (m *Manager) host(name string) (*hostEntry, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.hosts[name]
-	if !ok {
-		return nil, fmt.Errorf("manager: unknown host %s", name)
-	}
-	return h, nil
-}
+// Close releases all agent connections. It refuses new operations and
+// waits for in-flight ones to finish, so no RPC client is used after
+// its Close.
+func (m *Manager) Close() { m.reg.close() }
 
 // Hosts returns the registered host names, sorted.
 func (m *Manager) Hosts() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.hosts))
-	for name := range m.hosts {
-		out = append(out, name)
+	entries := m.reg.snapshot()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.name
 	}
-	sort.Strings(out)
 	return out
 }
 
+// NumHosts counts registered hosts.
+func (m *Manager) NumHosts() int { return m.reg.size() }
+
 // CreateVM creates a VM on the host with the fewest resident VMs (the
-// manager "identifies a host with sufficient resources", §4.1).
+// manager "identifies a host with sufficient resources", §4.1). The
+// placement scan is one bounded-concurrency stats fan-out over the
+// fleet; when no powered host is found the per-host scan errors come
+// back joined, so an all-hosts-unreachable fleet is distinguishable
+// from an all-suspended one.
 func (m *Manager) CreateVM(args CreateVMArgs) (hostName string, err error) {
-	names := m.Hosts()
-	best, bestCount := "", int(^uint(0)>>1)
-	for _, name := range names {
-		st, err := m.HostStats(name)
-		if err != nil || st.Suspended {
-			continue
+	err = m.reg.do(func() error {
+		scans := m.scanStats()
+		best, bestCount := "", int(^uint(0)>>1)
+		var scanErrs []error
+		for _, sc := range scans {
+			if sc.Err != nil {
+				scanErrs = append(scanErrs, sc.Err)
+				continue
+			}
+			if sc.Stats.Suspended {
+				continue
+			}
+			if len(sc.Stats.VMs) < bestCount {
+				best, bestCount = sc.Name, len(sc.Stats.VMs)
+			}
 		}
-		if len(st.VMs) < bestCount {
-			best, bestCount = name, len(st.VMs)
+		if best == "" {
+			if joined := joinErrs(scanErrs); joined != nil {
+				return fmt.Errorf("manager: no powered host available (%d/%d scans failed): %w",
+					len(scanErrs), len(scans), joined)
+			}
+			return fmt.Errorf("manager: no powered host available")
 		}
-	}
-	if best == "" {
-		return "", fmt.Errorf("manager: no powered host available")
-	}
-	h, err := m.host(best)
-	if err != nil {
-		return "", err
-	}
-	if err := h.client.Call("Agent.CreateVM", args, nil); err != nil {
-		return "", err
-	}
-	return best, nil
+		e, err := m.reg.get(best)
+		if err != nil {
+			return err
+		}
+		if err := e.client.Call("Agent.CreateVM", args, nil); err != nil {
+			return err
+		}
+		hostName = best
+		return nil
+	})
+	return hostName, err
 }
 
 // CreateVMOn creates a VM on a specific host.
 func (m *Manager) CreateVMOn(hostName string, args CreateVMArgs) error {
-	h, err := m.host(hostName)
-	if err != nil {
+	return m.call(hostName, "Agent.CreateVM", args, nil)
+}
+
+// host returns the registry entry for a host — a white-box helper for
+// tests that speak raw RPC past the manager's API. Manager methods use
+// call() instead, which holds the lifecycle lock across the RPC.
+func (m *Manager) host(name string) (*hostEntry, error) {
+	var e *hostEntry
+	err := m.reg.do(func() (err error) {
+		e, err = m.reg.get(name)
 		return err
-	}
-	return h.client.Call("Agent.CreateVM", args, nil)
+	})
+	return e, err
+}
+
+// call performs one RPC against a registered host under the lifecycle
+// lock.
+func (m *Manager) call(hostName, method string, args, out any) error {
+	return m.reg.do(func() error {
+		e, err := m.reg.get(hostName)
+		if err != nil {
+			return err
+		}
+		return e.client.Call(method, args, out)
+	})
 }
 
 // PartialMigrate consolidates an idle VM from src to dst.
 func (m *Manager) PartialMigrate(id pagestore.VMID, src, dst string) error {
-	s, err := m.host(src)
-	if err != nil {
-		return err
-	}
-	d, err := m.host(dst)
-	if err != nil {
-		return err
-	}
-	return s.client.Call("Agent.PartialMigrate", MigrateArgs{VMID: id, Dest: d.addr}, nil)
+	return m.reg.do(func() error {
+		s, err := m.reg.get(src)
+		if err != nil {
+			return err
+		}
+		d, err := m.reg.get(dst)
+		if err != nil {
+			return err
+		}
+		return s.client.Call("Agent.PartialMigrate", MigrateArgs{VMID: id, Dest: d.addr}, nil)
+	})
 }
 
 // FullMigrate moves a VM in full from src to dst; dst becomes the owner.
 func (m *Manager) FullMigrate(id pagestore.VMID, src, dst string) error {
-	s, err := m.host(src)
-	if err != nil {
-		return err
-	}
-	d, err := m.host(dst)
-	if err != nil {
-		return err
-	}
-	return s.client.Call("Agent.FullMigrate", MigrateArgs{VMID: id, Dest: d.addr}, nil)
+	return m.reg.do(func() error {
+		s, err := m.reg.get(src)
+		if err != nil {
+			return err
+		}
+		d, err := m.reg.get(dst)
+		if err != nil {
+			return err
+		}
+		return s.client.Call("Agent.FullMigrate", MigrateArgs{VMID: id, Dest: d.addr}, nil)
+	})
 }
 
 // Reintegrate returns a partial VM running on consHost to its owner.
 func (m *Manager) Reintegrate(id pagestore.VMID, consHost, owner string) error {
-	c, err := m.host(consHost)
-	if err != nil {
-		return err
-	}
-	o, err := m.host(owner)
-	if err != nil {
-		return err
-	}
-	return c.client.Call("Agent.Reintegrate", MigrateArgs{VMID: id, Dest: o.addr}, nil)
+	return m.reg.do(func() error {
+		c, err := m.reg.get(consHost)
+		if err != nil {
+			return err
+		}
+		o, err := m.reg.get(owner)
+		if err != nil {
+			return err
+		}
+		return c.client.Call("Agent.Reintegrate", MigrateArgs{VMID: id, Dest: o.addr}, nil)
+	})
 }
 
 // RecoverDegraded force-promotes a degraded partial VM from consHost
@@ -160,80 +203,113 @@ func (m *Manager) Reintegrate(id pagestore.VMID, consHost, owner string) error {
 // VM. Set force to promote a VM whose memtap does not (yet) report
 // degraded.
 func (m *Manager) RecoverDegraded(id pagestore.VMID, consHost, owner string, force bool) error {
-	c, err := m.host(consHost)
-	if err != nil {
-		return err
-	}
-	o, err := m.host(owner)
-	if err != nil {
-		return err
-	}
-	if err := m.Wake(owner); err != nil {
-		return fmt.Errorf("manager: wake owner %s for degraded vm %04d: %w", owner, id, err)
-	}
-	return c.client.Call("Agent.RecoverDegraded", RecoverArgs{VMID: id, Dest: o.addr, Force: force}, nil)
+	return m.reg.do(func() error {
+		c, err := m.reg.get(consHost)
+		if err != nil {
+			return err
+		}
+		o, err := m.reg.get(owner)
+		if err != nil {
+			return err
+		}
+		if err := o.client.Call("Agent.Wake", nil, nil); err != nil {
+			return fmt.Errorf("manager: wake owner %s for degraded vm %04d: %w", owner, id, err)
+		}
+		return c.client.Call("Agent.RecoverDegraded", RecoverArgs{VMID: id, Dest: o.addr, Force: force}, nil)
+	})
 }
 
-// DegradedVMs scans every host's stats and returns the degraded (and not
-// yet quarantined) partial VMs as (vmid → consolidation host). The scan
-// is best-effort: hosts that are themselves unreachable are skipped —
-// this sweep runs precisely when parts of the cluster are failing.
+// DegradedVMs sweeps every host's stats with one bounded fan-out and
+// returns the degraded (and not yet quarantined) partial VMs as
+// (vmid → consolidation host). The sweep is best-effort: hosts that are
+// themselves unreachable are skipped — it runs precisely when parts of
+// the cluster are failing.
 func (m *Manager) DegradedVMs() (map[pagestore.VMID]string, error) {
 	out := make(map[pagestore.VMID]string)
-	for _, name := range m.Hosts() {
-		st, err := m.HostStats(name)
-		if err != nil {
-			continue
-		}
-		for _, vi := range st.VMs {
-			if vi.Degraded && !vi.Quarantined {
-				out[vi.VMID] = name
+	err := m.reg.do(func() error {
+		for _, sc := range m.scanStats() {
+			if sc.Err != nil {
+				continue
+			}
+			for _, vi := range sc.Stats.VMs {
+				if vi.Degraded && !vi.Quarantined {
+					out[vi.VMID] = sc.Name
+				}
 			}
 		}
-	}
-	return out, nil
+		return nil
+	})
+	return out, err
 }
 
 // Suspend puts a host into (simulated) S3; it fails if VMs still run
 // there. The host's memory server keeps serving pages.
 func (m *Manager) Suspend(name string) error {
-	h, err := m.host(name)
-	if err != nil {
-		return err
-	}
-	return h.client.Call("Agent.Suspend", nil, nil)
+	return m.call(name, "Agent.Suspend", nil, nil)
 }
 
 // Wake brings a suspended host back (the Wake-on-LAN of §4.1).
 func (m *Manager) Wake(name string) error {
-	h, err := m.host(name)
-	if err != nil {
-		return err
-	}
-	return h.client.Call("Agent.Wake", nil, nil)
+	return m.call(name, "Agent.Wake", nil, nil)
 }
 
-// HostStats fetches one agent's statistics.
+// HostStats fetches one agent's statistics. The fetch goes through the
+// registry's single-flight refresh, so concurrent callers (and
+// concurrent fleet sweeps) share one RPC and its reply; the registry's
+// cache is updated as a side effect.
 func (m *Manager) HostStats(name string) (Stats, error) {
-	h, err := m.host(name)
-	if err != nil {
-		return Stats{}, err
-	}
 	var st Stats
-	if err := h.client.Call("Agent.Stats", nil, &st); err != nil {
+	err := m.reg.do(func() error {
+		e, err := m.reg.get(name)
+		if err != nil {
+			return err
+		}
+		st, _, err = e.refreshStats()
+		return err
+	})
+	if err != nil {
 		return Stats{}, err
 	}
 	return st, nil
 }
 
+// HostStatsCached returns the registry's cached stats for a host
+// without touching the wire, with the refresh epoch and fetch time so
+// the caller can judge staleness. ok is false if the host has never
+// answered a refresh (or is unknown).
+func (m *Manager) HostStatsCached(name string) (st Stats, epoch uint64, fetchedAt time.Time, ok bool) {
+	err := m.reg.do(func() error {
+		e, err := m.reg.get(name)
+		if err != nil {
+			return err
+		}
+		st, epoch, fetchedAt, ok = e.cachedStats()
+		return nil
+	})
+	if err != nil {
+		return Stats{}, 0, time.Time{}, false
+	}
+	return st, epoch, fetchedAt, ok
+}
+
+// RefreshStats sweeps the whole fleet's stats with one bounded
+// fan-out, updating every host's cache, and returns the per-host scan
+// results in host-name order. Unreachable hosts carry their error in
+// the scan slot; the error return is non-nil only when the manager is
+// closed.
+func (m *Manager) RefreshStats() ([]HostScan, error) {
+	var scans []HostScan
+	err := m.reg.do(func() error {
+		scans = m.scanStats()
+		return nil
+	})
+	return scans, err
+}
+
 // WritePage writes guest memory through a host agent (workload
 // emulation for examples and tests).
 func (m *Manager) WritePage(hostName string, id pagestore.VMID, pfn pagestore.PFN, data []byte) error {
-	h, err := m.host(hostName)
-	if err != nil {
-		return err
-	}
-	return h.client.Call("Agent.WritePage", PageArgs{
+	return m.call(hostName, "Agent.WritePage", PageArgs{
 		VMID: id, PFN: pfn, Data: base64.StdEncoding.EncodeToString(data),
 	}, nil)
 }
@@ -241,12 +317,8 @@ func (m *Manager) WritePage(hostName string, id pagestore.VMID, pfn pagestore.PF
 // ReadPage reads guest memory through a host agent; on a partial VM this
 // faults the page in from the memory server.
 func (m *Manager) ReadPage(hostName string, id pagestore.VMID, pfn pagestore.PFN) ([]byte, error) {
-	h, err := m.host(hostName)
-	if err != nil {
-		return nil, err
-	}
 	var b64 string
-	if err := h.client.Call("Agent.ReadPage", PageArgs{VMID: id, PFN: pfn}, &b64); err != nil {
+	if err := m.call(hostName, "Agent.ReadPage", PageArgs{VMID: id, PFN: pfn}, &b64); err != nil {
 		return nil, err
 	}
 	return base64.StdEncoding.DecodeString(b64)

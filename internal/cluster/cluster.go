@@ -135,6 +135,15 @@ type Config struct {
 	// behaviour; see the placement ablation for the comparison.
 	Placement placement.Strategy
 
+	// ScanPlanner forces the original full-scan consolidation planner:
+	// every pickConsHost walks all consolidation hosts and planVacate
+	// walks all home hosts. The default (false) serves both from the
+	// live free-capacity index (capindex.go), which makes bit-identical
+	// decisions — the planner-equivalence test proves it across seeds
+	// and policies. The scan path is kept as that test's oracle and as
+	// the baseline the cluster bench measures against.
+	ScanPlanner bool
+
 	// VacateDescending reverses the §3.1 vacate ordering (ablation): the
 	// paper sorts compute hosts by total VM memory demand ascending so
 	// the cheapest hosts vacate first; descending vacates the most
@@ -277,6 +286,20 @@ type Cluster struct {
 	// telemetry.go. Lazily created so zero-value-ish test clusters work.
 	tel *simTel
 
+	// capIdx is the live free-capacity index the incremental planner
+	// reads (capindex.go); nil under Config.ScanPlanner.
+	capIdx *capIndex
+	// pickPowered, pickSleeping and pickCands are pickConsHostIndexed's
+	// scratch buffers, retained across picks so the planner's hot path
+	// does not allocate.
+	pickPowered, pickSleeping []int
+	pickCands                 []placement.Candidate
+
+	// Planner counts planning work (picks, candidates examined). Not
+	// part of Stats/digest: scan and indexed planners must fingerprint
+	// identically while doing measurably different amounts of work.
+	Planner PlannerStats
+
 	Stats Stats
 }
 
@@ -363,6 +386,12 @@ func New(sim *simtime.Simulator, cfg Config) (*Cluster, error) {
 		}
 	}
 	sim.RunUntil(sim.Now().Add(cfg.Profile.SuspendTime))
+
+	// Build the planner's capacity index from the settled initial state;
+	// from here on the host change feed keeps it current.
+	if !cfg.ScanPlanner {
+		c.capIdx = newCapIndex(c)
+	}
 	return c, nil
 }
 

@@ -564,18 +564,32 @@ func (c *Cluster) planVacate() map[int]bool {
 		demand units.Bytes
 	}
 	var cands []cand
-	for _, h := range c.homeHosts() {
-		if !h.Powered() || h.NumVMs() == 0 {
-			continue
-		}
+	collect := func(h *host.Host) {
 		if c.Cfg.Policy == OnlyPartial && h.ActiveVMs() > 0 {
-			continue
+			return
 		}
 		if c.Cfg.MaxVacateActiveFrac > 0 &&
 			float64(h.ActiveVMs()) > c.Cfg.MaxVacateActiveFrac*float64(h.NumVMs()) {
-			continue
+			return
 		}
 		cands = append(cands, cand{h, h.Used()})
+	}
+	if c.capIdx != nil {
+		// Incremental path: the change feed maintains the
+		// powered-with-VMs membership; walk members in the same host-ID
+		// order the scan produces.
+		for id, ok := range c.capIdx.vacatable {
+			if ok {
+				collect(c.Hosts[id])
+			}
+		}
+	} else {
+		for _, h := range c.homeHosts() {
+			if !h.Powered() || h.NumVMs() == 0 {
+				continue
+			}
+			collect(h)
+		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].demand != cands[j].demand {
@@ -694,8 +708,13 @@ func (c *Cluster) assignVMs(h *host.Host, free map[int]units.Bytes, wokenPlanned
 // of all staying powered. Random tie-breaking keeps placement spread when
 // hosts are equally full.
 func (c *Cluster) pickConsHost(need units.Bytes, free, spent map[int]units.Bytes, wokenPlanned map[int]bool, allowSleeping bool) (int, bool) {
+	c.Planner.Picks++
+	if c.capIdx != nil {
+		return c.pickConsHostIndexed(need, free, spent, wokenPlanned, allowSleeping)
+	}
 	var poweredFits, sleepingFits []int
 	for _, h := range c.consHosts() {
+		c.Planner.Candidates++
 		reserve := units.Bytes(c.Cfg.VacateHeadroom * float64(h.Usable()))
 		if free[h.ID]-spent[h.ID]-need < reserve {
 			continue

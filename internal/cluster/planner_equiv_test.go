@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"oasis/internal/placement"
+	"oasis/internal/rng"
+	"oasis/internal/simtime"
+	"oasis/internal/units"
+)
+
+// The indexed planner must make bit-identical placement decisions to the
+// full-scan planner: same candidate sets, same RNG draws, therefore the
+// same simulation history down to the digest fingerprint (which hashes
+// every byte counter, op count, delay histogram and the simulator's
+// event-history fingerprint). This is the property the CI gate runs —
+// if the capacity index ever diverges from the scan's fit arithmetic,
+// SimFingerprint catches the very first differing decision.
+
+// equivConfig is a geometry small enough to run many (seed, policy)
+// pairs but busy enough to exercise vacates, wakes, exchanges,
+// exhaustions and bulk returns.
+func equivConfig(policy Policy, seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	cfg.HomeHosts = 6
+	cfg.ConsHosts = 3
+	cfg.VMsPerHost = 6
+	cfg.VMAlloc = 4 * units.GiB
+	cfg.HostCap = 32 * units.GiB
+	cfg.HostReserved = 2 * units.GiB
+	cfg.Seed = seed
+	cfg.NoTelemetry = true
+	return cfg
+}
+
+// runPlanner drives one cluster for ticks intervals with pseudo-random
+// activity from its own deterministic stream (independent of the
+// cluster's internal RNG) and returns the final digest fingerprint.
+func runPlanner(t *testing.T, cfg Config, ticks int) (uint64, PlannerStats) {
+	t.Helper()
+	s := simtime.New()
+	c, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(cfg.Seed ^ 0xac711)
+	active := make([]bool, len(c.VMs))
+	for i := 0; i < ticks; i++ {
+		// Vary the activity level tick to tick: quiet stretches trigger
+		// vacates, bursts trigger conversions and wake-the-home returns.
+		p := 0.05 + 0.5*r.Float64()
+		for j := range active {
+			active[j] = r.Bool(p)
+		}
+		if err := c.Tick(active); err != nil {
+			t.Fatal(err)
+		}
+		s.RunUntil(s.Now().Add(cfg.PlanEvery))
+	}
+	c.FlushEpisodes()
+	d := c.Digest()
+	return d.Fingerprint(), c.Planner
+}
+
+// TestIndexedPlannerMatchesScan is the planner-equivalence gate: for
+// every policy, across seeds and placement strategies, the indexed and
+// scan planners produce the same digest fingerprint.
+func TestIndexedPlannerMatchesScan(t *testing.T) {
+	policies := []Policy{OnlyPartial, Default, FulltoPartial, NewHome, FullOnly}
+	strategies := []placement.Strategy{nil, placement.Random{}, placement.BestFit{}, placement.RandomBestK{K: 3}}
+	const ticks = 30
+	for _, pol := range policies {
+		for seed := uint64(1); seed <= 3; seed++ {
+			strat := strategies[int(seed+uint64(pol))%len(strategies)]
+			name := fmt.Sprintf("%v/seed=%d", pol, seed)
+			if strat != nil {
+				name += "/" + strat.Name()
+			}
+			t.Run(name, func(t *testing.T) {
+				scanCfg := equivConfig(pol, seed)
+				scanCfg.ScanPlanner = true
+				scanCfg.Placement = strat
+				idxCfg := equivConfig(pol, seed)
+				idxCfg.Placement = strat
+
+				scanFP, scanWork := runPlanner(t, scanCfg, ticks)
+				idxFP, idxWork := runPlanner(t, idxCfg, ticks)
+				if scanFP != idxFP {
+					t.Errorf("digest fingerprints diverge: scan %#x, indexed %#x", scanFP, idxFP)
+				}
+				if scanWork.Picks != idxWork.Picks {
+					t.Errorf("pick counts diverge: scan %d, indexed %d — the planners took different decision paths",
+						scanWork.Picks, idxWork.Picks)
+				}
+				if idxWork.Candidates > scanWork.Candidates {
+					t.Errorf("indexed planner examined %d candidates, scan %d — the index walked more than the full scan",
+						idxWork.Candidates, scanWork.Candidates)
+				}
+			})
+		}
+	}
+}
+
+// TestCapIndexConsistency cross-checks the index against ground truth
+// after a busy run: every consolidation host filed in exactly one
+// bucket, under the bit length of its live headroom, and the vacatable
+// set equal to the powered-with-VMs predicate.
+func TestCapIndexConsistency(t *testing.T) {
+	cfg := equivConfig(FulltoPartial, 11)
+	s := simtime.New()
+	c, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	active := make([]bool, len(c.VMs))
+	for i := 0; i < 25; i++ {
+		for j := range active {
+			active[j] = r.Bool(0.3)
+		}
+		if err := c.Tick(active); err != nil {
+			t.Fatal(err)
+		}
+		s.RunUntil(s.Now().Add(cfg.PlanEvery))
+
+		x := c.capIdx
+		seen := make(map[int]int)
+		for b, ids := range x.buckets {
+			for p, i := range ids {
+				if x.bucket[i] != b || x.pos[i] != p {
+					t.Fatalf("tick %d: cons host %d bookkeeping (bucket %d pos %d) disagrees with placement (bucket %d pos %d)",
+						i, i, x.bucket[i], x.pos[i], b, p)
+				}
+				seen[i]++
+			}
+		}
+		for i, h := range c.consHosts() {
+			if seen[i] != 1 {
+				t.Fatalf("tick %d: cons host %d filed %d times", i, i, seen[i])
+			}
+			want := availBucket(h.Free() - x.reserve[i])
+			if x.bucket[i] != want {
+				t.Fatalf("tick %d: cons host %d in bucket %d, live headroom says %d", i, i, x.bucket[i], want)
+			}
+		}
+		for i, h := range c.homeHosts() {
+			if x.vacatable[i] != (h.Powered() && h.NumVMs() > 0) {
+				t.Fatalf("tick %d: home %d vacatable=%v, live state says %v", i, i, x.vacatable[i], !x.vacatable[i])
+			}
+		}
+	}
+}

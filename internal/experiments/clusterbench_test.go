@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestClusterStressQuick runs the control-plane stress benchmark at its
+// -quick geometry and checks the artifact is fully populated and
+// internally consistent. It does not assert the 2x measured gate — the
+// quick geometry is a tenth of the real one and timing-gated assertions
+// belong to the committed BENCH_cluster.json run, not to `go test`.
+func TestClusterStressQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster stress bench takes tens of seconds")
+	}
+	b, err := ClusterStress(Option{Seed: 42, Runs: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Experiment != "cluster" || b.Hosts != 1000 || b.VMs != 900*12 {
+		t.Fatalf("unexpected geometry: %+v", b)
+	}
+	if len(b.Planner) != 2 || b.Planner[0].Planner != "scan" || b.Planner[1].Planner != "indexed" {
+		t.Fatalf("want scan+indexed planner runs, got %+v", b.Planner)
+	}
+	for _, p := range b.Planner {
+		if p.Picks == 0 || p.Candidates == 0 || p.PlansPerSec <= 0 || p.Fingerprint == "" {
+			t.Fatalf("planner run %q not populated: %+v", p.Planner, p)
+		}
+	}
+	// Bit-identity is not a timing property: it must hold at any scale.
+	if !b.BitIdentical {
+		t.Fatalf("scan and indexed fingerprints diverge: %s vs %s",
+			b.Planner[0].Fingerprint, b.Planner[1].Fingerprint)
+	}
+	if b.Planner[0].Picks != b.Planner[1].Picks {
+		t.Fatalf("pick counts diverge: scan %d, indexed %d", b.Planner[0].Picks, b.Planner[1].Picks)
+	}
+	if b.Planner[1].Candidates > b.Planner[0].Candidates {
+		t.Fatalf("indexed examined more candidates (%d) than the scan (%d)",
+			b.Planner[1].Candidates, b.Planner[0].Candidates)
+	}
+	if len(b.Actuation) != 2 || b.Actuation[0].Mode != "serial" || b.Actuation[1].Mode != "batched" {
+		t.Fatalf("want serial+batched actuation runs, got %+v", b.Actuation)
+	}
+	for _, a := range b.Actuation {
+		if a.P50Ms <= 0 || a.P99Ms < a.P50Ms || a.StatsPerSec <= 0 {
+			t.Fatalf("actuation run %q not populated: %+v", a.Mode, a)
+		}
+	}
+	if b.MeasuredGate.Metric != "planner_plans_per_sec" || b.MeasuredGate.Ratio <= 0 {
+		t.Fatalf("gate not populated: %+v", b.MeasuredGate)
+	}
+}

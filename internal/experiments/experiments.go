@@ -126,6 +126,11 @@ func ByID(id string, opt Option) (Report, bool) {
 		// swept up by `-experiment all` or the test that runs every
 		// listed experiment.
 		return FleetBenchReport(opt), true
+	case "cluster":
+		// The 10k-host control-plane stress benchmark. Like "sim", kept
+		// out of IDs(): it rebuilds two 10k-host clusters and must be
+		// asked for by name.
+		return ClusterStressReport(opt), true
 	default:
 		return Report{}, false
 	}

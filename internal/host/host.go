@@ -66,6 +66,12 @@ type Host struct {
 	pendingWake []func()
 	memServerOn bool
 
+	// onChange, if set, runs after every change to the host's memory
+	// accounting (AddVM/RemoveVM/Recharge, via refreshPower) or power
+	// state (setState). The cluster's capacity index subscribes here to
+	// stay current without rescanning hosts; the callback must be O(1).
+	onChange func(*Host)
+
 	vms  map[pagestore.VMID]*vm.VM
 	used units.Bytes
 	// active caches the count of resident active VMs. The power model
@@ -234,9 +240,16 @@ func (h *Host) Recharge(id pagestore.VMID, old units.Bytes) error {
 // Exhausted reports whether resident footprints exceed usable memory.
 func (h *Host) Exhausted() bool { return h.used > h.Usable() }
 
+// SetOnChange registers the change callback; nil unregisters. At most
+// one subscriber (the owning cluster's capacity index).
+func (h *Host) SetOnChange(fn func(*Host)) { h.onChange = fn }
+
 // refreshPower re-derives meter inputs from resident VM states.
 func (h *Host) refreshPower() {
 	h.meter.SetActiveVMs(h.sim.Now(), h.ActiveVMs())
+	if h.onChange != nil {
+		h.onChange(h)
+	}
 }
 
 // NoteVMStateChanged must be called after a resident VM flips between
@@ -338,6 +351,9 @@ func (h *Host) drainWakes() {
 func (h *Host) setState(s power.State) {
 	h.state = s
 	h.meter.SetState(h.sim.Now(), s)
+	if h.onChange != nil {
+		h.onChange(h)
+	}
 }
 
 // String summarises the host.

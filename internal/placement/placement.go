@@ -4,11 +4,16 @@
 // "more sophisticated placement algorithms" out of scope; this package
 // implements the classic bin-packing family so the choice can be studied
 // as an ablation (see BenchmarkAblationPlacement).
+//
+// Every strategy is allocation-free: the fleet-scale planner calls Pick
+// once per VM placement, and the original implementations copied and
+// sorted the candidate slice on each call — at 10k hosts that sort
+// dominated whole-plan profiles. The rewrites use single-pass selection
+// (min/max) or an in-place quickselect for rank queries, and are proven
+// decision-identical to the sorting versions by property tests.
 package placement
 
 import (
-	"sort"
-
 	"oasis/internal/rng"
 	"oasis/internal/units"
 )
@@ -24,7 +29,11 @@ type Candidate struct {
 
 // Strategy picks a destination among candidates that all fit the
 // request. Implementations must be deterministic given the same
-// candidates and random stream.
+// candidates and random stream, and order-independent: the same
+// candidate set in any order yields the same choice (the incremental
+// planner's capacity index collects candidates in bucket order, not
+// host order). Pick may reorder cands in place; callers must not rely
+// on the slice's order afterwards.
 type Strategy interface {
 	// Name identifies the strategy in reports.
 	Name() string
@@ -34,19 +43,73 @@ type Strategy interface {
 	Pick(cands []Candidate, r *rng.Rand) int
 }
 
-func sortByFree(cands []Candidate) []Candidate {
-	out := append([]Candidate(nil), cands...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Free != out[j].Free {
-			return out[i].Free < out[j].Free
+// lessFree orders candidates by (Free, ID) ascending — the total order
+// the sorting implementations used, so ties on Free stay deterministic.
+func lessFree(a, b Candidate) bool {
+	if a.Free != b.Free {
+		return a.Free < b.Free
+	}
+	return a.ID < b.ID
+}
+
+// lessID orders candidates by ID (IDs are distinct per call).
+func lessID(a, b Candidate) bool { return a.ID < b.ID }
+
+// selectKth partially sorts cands in place so that cands[k] holds the
+// k-th smallest element under less, and returns it. Iterative Hoare
+// quickselect with median-of-three pivoting: O(n) expected, zero
+// allocations, and fully deterministic (no randomized pivots). The
+// k-th order statistic is a property of the candidate *set*, so the
+// result is independent of the slice's initial order.
+func selectKth(cands []Candidate, k int, less func(a, b Candidate) bool) Candidate {
+	lo, hi := 0, len(cands)-1
+	for lo < hi {
+		// Median-of-three: order cands[lo], cands[mid], cands[hi] and
+		// use the median as the pivot value.
+		mid := lo + (hi-lo)/2
+		if less(cands[mid], cands[lo]) {
+			cands[mid], cands[lo] = cands[lo], cands[mid]
 		}
-		return out[i].ID < out[j].ID
-	})
-	return out
+		if less(cands[hi], cands[lo]) {
+			cands[hi], cands[lo] = cands[lo], cands[hi]
+		}
+		if less(cands[hi], cands[mid]) {
+			cands[hi], cands[mid] = cands[mid], cands[hi]
+		}
+		pivot := cands[mid]
+		// Hoare partition around the pivot value.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if !less(cands[i], pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !less(pivot, cands[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			cands[i], cands[j] = cands[j], cands[i]
+		}
+		// Elements <= pivot live in [lo, j], >= pivot in (j, hi].
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return cands[k]
 }
 
 // Random picks uniformly among fitting hosts — the paper's §3.1
-// behaviour.
+// behaviour. The draw indexes the candidates in ID order (the sorting
+// version's contract), reproduced with a rank selection.
 type Random struct{}
 
 // Name implements Strategy.
@@ -54,9 +117,7 @@ func (Random) Name() string { return "random" }
 
 // Pick implements Strategy.
 func (Random) Pick(cands []Candidate, r *rng.Rand) int {
-	out := append([]Candidate(nil), cands...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out[r.Intn(len(out))].ID
+	return selectKth(cands, r.Intn(len(cands)), lessID).ID
 }
 
 // FirstFit picks the lowest-numbered fitting host.
@@ -85,7 +146,13 @@ func (BestFit) Name() string { return "best-fit" }
 
 // Pick implements Strategy.
 func (BestFit) Pick(cands []Candidate, _ *rng.Rand) int {
-	return sortByFree(cands)[0].ID
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if lessFree(c, best) {
+			best = c
+		}
+	}
+	return best.ID
 }
 
 // WorstFit picks the fitting host with the most remaining space,
@@ -97,8 +164,13 @@ func (WorstFit) Name() string { return "worst-fit" }
 
 // Pick implements Strategy.
 func (WorstFit) Pick(cands []Candidate, _ *rng.Rand) int {
-	s := sortByFree(cands)
-	return s[len(s)-1].ID
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if lessFree(best, c) {
+			best = c
+		}
+	}
+	return best.ID
 }
 
 // RandomBestK picks at random among the K tightest fitting hosts —
@@ -115,9 +187,11 @@ func (s RandomBestK) Pick(cands []Candidate, r *rng.Rand) int {
 	if k <= 0 {
 		k = 2
 	}
-	sorted := sortByFree(cands)
-	if k > len(sorted) {
-		k = len(sorted)
+	if k > len(cands) {
+		k = len(cands)
 	}
-	return sorted[r.Intn(k)].ID
+	// Draw first, then select: the sorting version consumed exactly one
+	// Intn(k) after its (RNG-free) sort, so the stream position — and
+	// therefore every later planner decision — is unchanged.
+	return selectKth(cands, r.Intn(k), lessFree).ID
 }

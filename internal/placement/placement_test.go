@@ -99,15 +99,25 @@ func TestQuickPickIsAlwaysACandidate(t *testing.T) {
 	}
 }
 
-func TestPickDoesNotMutateInput(t *testing.T) {
+// TestPickPreservesCandidateSet: Pick may reorder cands in place (the
+// documented contract), but must never lose or duplicate an entry —
+// callers reuse the backing slice for the next pick.
+func TestPickPreservesCandidateSet(t *testing.T) {
 	r := rng.New(5)
-	c := cands(9, 1, 5)
-	orig := append([]Candidate(nil), c...)
-	for _, s := range []Strategy{Random{}, BestFit{}, WorstFit{}, RandomBestK{K: 2}} {
+	orig := cands(9, 1, 5, 5, 22, 3)
+	for _, s := range []Strategy{Random{}, FirstFit{}, BestFit{}, WorstFit{}, RandomBestK{K: 2}} {
+		c := append([]Candidate(nil), orig...)
 		s.Pick(c, r)
-		for i := range c {
-			if c[i] != orig[i] {
-				t.Fatalf("%s mutated the candidate slice", s.Name())
+		count := map[Candidate]int{}
+		for _, x := range c {
+			count[x]++
+		}
+		for _, x := range orig {
+			count[x]--
+		}
+		for x, n := range count {
+			if n != 0 {
+				t.Fatalf("%s changed the candidate multiset (delta %d for %+v)", s.Name(), n, x)
 			}
 		}
 	}
